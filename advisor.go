@@ -1,0 +1,174 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/optimizer"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// Advisor is the paper's meta-learning DFS optimizer (§5): one balanced
+// random forest per strategy, trained on featurized ML scenarios, that
+// predicts which strategy is most likely to satisfy a new scenario without
+// trying any of them on the data.
+type Advisor struct {
+	opt *optimizer.Optimizer
+}
+
+// AdvisorConfig controls self-training of an Advisor.
+type AdvisorConfig struct {
+	// Scenarios is the number of fuzzed training scenarios; 0 means 40.
+	// Training cost grows linearly: every scenario runs all 16 strategies.
+	Scenarios int
+	// Datasets restricts the training datasets (default: all 19 built-ins).
+	Datasets []string
+	// Seed fixes all randomness.
+	Seed uint64
+	// MaxEvals bounds real compute per strategy run; 0 means 60.
+	MaxEvals int
+	// HPO enables hyperparameter grids during training runs.
+	HPO bool
+}
+
+// TrainAdvisor self-generates training data exactly as Algorithm 1
+// describes — sample scenarios, verify per strategy whether it satisfies
+// them — and fits the meta-models. Expect roughly a minute of compute at the
+// default scale; persist and reuse the Advisor across selections.
+func TrainAdvisor(cfg AdvisorConfig) (*Advisor, error) {
+	if cfg.Scenarios == 0 {
+		cfg.Scenarios = 40
+	}
+	if cfg.MaxEvals == 0 {
+		cfg.MaxEvals = 60
+	}
+	pool, err := bench.BuildPool(bench.Config{
+		Scenarios: cfg.Scenarios,
+		Seed:      cfg.Seed,
+		HPO:       cfg.HPO,
+		MaxEvals:  cfg.MaxEvals,
+		Datasets:  cfg.Datasets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dfs: generating advisor training data: %w", err)
+	}
+	var examples []optimizer.Example
+	for i := range pool.Records {
+		r := &pool.Records[i]
+		sat := make(map[string]bool, len(core.StrategyNames))
+		for _, s := range core.StrategyNames {
+			sat[s] = r.Results[s].Satisfied
+		}
+		examples = append(examples, optimizer.Example{X: r.MetaX, Satisfied: sat})
+	}
+	opt, err := optimizer.Train(examples, core.StrategyNames, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{opt: opt}, nil
+}
+
+// Save persists the trained advisor as a JSON document, so the expensive
+// self-training runs once and the model is reloaded with LoadAdvisor.
+func (a *Advisor) Save(w io.Writer) error { return a.opt.Write(w) }
+
+// LoadAdvisor restores an advisor persisted with Save.
+func LoadAdvisor(r io.Reader) (*Advisor, error) {
+	opt, err := optimizer.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{opt: opt}, nil
+}
+
+// Recommend returns all 16 strategies ranked by predicted probability of
+// satisfying the scenario, best first.
+func (a *Advisor) Recommend(d *Dataset, kind ModelKind, cs Constraints, opts ...Option) ([]string, error) {
+	x, err := a.featurize(d, kind, cs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.opt.Ranking(x), nil
+}
+
+// Select runs the advisor's top-ranked strategy on the scenario.
+func (a *Advisor) Select(d *Dataset, kind ModelKind, cs Constraints, opts ...Option) (*Selection, error) {
+	ranked, err := a.Recommend(d, kind, cs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return Select(d, kind, cs, append(opts, WithStrategy(ranked[0]))...)
+}
+
+// SelectDynamic implements the dynamic strategy-switching extension of the
+// paper's future work: the advisor's top-k strategies run in sequence
+// against one shared budget and evaluation cache — each stage gets half of
+// the remaining budget, and later stages are warm-started by the subsets
+// earlier stages already evaluated.
+func (a *Advisor) SelectDynamic(d *Dataset, kind ModelKind, cs Constraints, topK int, opts ...Option) (*Selection, error) {
+	if topK < 1 {
+		topK = 3
+	}
+	ranked, err := a.Recommend(d, kind, cs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if topK > len(ranked) {
+		topK = len(ranked)
+	}
+	o := buildOptions(opts)
+	scn, err := newScenario(d, kind, cs, o)
+	if err != nil {
+		return nil, err
+	}
+	strategies := make([]core.Strategy, 0, topK)
+	for _, name := range ranked[:topK] {
+		s, err := core.New(name)
+		if err != nil {
+			return nil, err
+		}
+		strategies = append(strategies, s)
+	}
+	res, err := core.RunSequence(strategies, scn, o.seed, o.maxEvals)
+	if err != nil {
+		return nil, err
+	}
+	return toSelection(d, res), nil
+}
+
+// featurize builds the optimizer's ρ(D, φ, C) vector for a user scenario.
+func (a *Advisor) featurize(d *Dataset, kind ModelKind, cs Constraints, opts []Option) ([]float64, error) {
+	o := buildOptions(opts)
+	scn, err := newScenario(d, kind, cs, o)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Featurize(scn, xrand.NewStream(o.seed, 0xad71))
+}
+
+// SelectAuto is the declarative-AutoML extension sketched in the paper's
+// future work (§7): it searches over the model family *and* the features.
+// Every benchmark model (LR, NB, DT) gets an equal share of the declared
+// search budget; the first satisfying selection wins, ties broken by lower
+// cost. The winning model family is recorded in Selection.Model.
+func SelectAuto(d *Dataset, cs Constraints, opts ...Option) (*Selection, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	perModel := cs
+	perModel.MaxSearchCost = cs.MaxSearchCost / 3
+	var best *Selection
+	for _, kind := range []ModelKind{LR, NB, DT} {
+		sel, err := Select(d, kind, perModel, opts...)
+		if err != nil {
+			return nil, err
+		}
+		sel.Model = kind
+		if best == nil || betterSelection(sel, best) {
+			best = sel
+		}
+	}
+	return best, nil
+}

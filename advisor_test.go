@@ -1,0 +1,162 @@
+package dfs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+var (
+	advisorOnce sync.Once
+	advisor     *Advisor
+	advisorErr  error
+)
+
+// trainedAdvisor self-trains a tiny advisor once for all tests in this file.
+func trainedAdvisor(t *testing.T) *Advisor {
+	t.Helper()
+	advisorOnce.Do(func() {
+		advisor, advisorErr = TrainAdvisor(AdvisorConfig{
+			Scenarios: 10,
+			Datasets:  []string{"COMPAS", "Indian Liver Patient", "Brazil Tourism"},
+			Seed:      3,
+			MaxEvals:  25,
+		})
+	})
+	if advisorErr != nil {
+		t.Fatal(advisorErr)
+	}
+	return advisor
+}
+
+func TestAdvisorRecommendRanksAllStrategies(t *testing.T) {
+	a := trainedAdvisor(t)
+	d, err := GenerateBuiltin("COMPAS", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Constraints{MinF1: 0.6, MaxSearchCost: 1000, MaxFeatureFrac: 1}
+	ranked, err := a.Recommend(d, LR, cs, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 16 {
+		t.Fatalf("ranking length %d", len(ranked))
+	}
+	seen := map[string]bool{}
+	for _, s := range ranked {
+		if seen[s] {
+			t.Fatalf("duplicate strategy %s in ranking", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAdvisorSelectRunsTopStrategy(t *testing.T) {
+	a := trainedAdvisor(t)
+	d, err := GenerateBuiltin("COMPAS", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Constraints{MinF1: 0.5, MaxSearchCost: 3000, MaxFeatureFrac: 1}
+	sel, err := a.Select(d, LR, cs, WithSeed(2), WithMaxEvaluations(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := a.Recommend(d, LR, cs, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Strategy != ranked[0] {
+		t.Fatalf("selection used %q, advisor recommended %q", sel.Strategy, ranked[0])
+	}
+}
+
+func TestAdvisorSelectDynamic(t *testing.T) {
+	a := trainedAdvisor(t)
+	d, err := GenerateBuiltin("COMPAS", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Constraints{MinF1: 0.5, MaxSearchCost: 3000, MaxFeatureFrac: 1}
+	sel, err := a.SelectDynamic(d, LR, cs, 3, WithSeed(2), WithMaxEvaluations(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel == nil {
+		t.Fatal("nil selection")
+	}
+	if sel.Satisfied && len(sel.Features) == 0 {
+		t.Fatal("satisfied without features")
+	}
+}
+
+func TestAdvisorSaveLoadRoundTrip(t *testing.T) {
+	a := trainedAdvisor(t)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAdvisor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := GenerateBuiltin("COMPAS", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Constraints{MinF1: 0.6, MaxSearchCost: 1000, MaxFeatureFrac: 1}
+	want, err := a.Recommend(d, LR, cs, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Recommend(d, LR, cs, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranking differs after roundtrip: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestLoadAdvisorRejectsGarbage(t *testing.T) {
+	if _, err := LoadAdvisor(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTrainAdvisorRejectsZeroData(t *testing.T) {
+	if _, err := TrainAdvisor(AdvisorConfig{Scenarios: 1, Datasets: []string{"nope"}}); err == nil {
+		t.Fatal("unknown training dataset accepted")
+	}
+}
+
+func TestSelectAutoPicksAModel(t *testing.T) {
+	d, err := GenerateBuiltin("Indian Liver Patient", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Constraints{MinF1: 0.4, MaxSearchCost: 6000, MaxFeatureFrac: 1}
+	sel, err := SelectAuto(d, cs, WithSeed(4), WithMaxEvaluations(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Model != LR && sel.Model != NB && sel.Model != DT {
+		t.Fatalf("selected model %q", sel.Model)
+	}
+	if sel.Satisfied && sel.Test.F1 < 0.4 {
+		t.Fatalf("satisfied below threshold: %v", sel.Test.F1)
+	}
+}
+
+func TestSelectAutoInvalidConstraints(t *testing.T) {
+	d, err := GenerateBuiltin("COMPAS", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelectAuto(d, Constraints{MinF1: -1, MaxSearchCost: 10}); err == nil {
+		t.Fatal("invalid constraints accepted")
+	}
+}

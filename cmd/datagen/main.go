@@ -1,0 +1,109 @@
+// Command datagen exports the built-in synthetic benchmark datasets (the
+// stand-ins for the paper's Table 2) as CSV files in the package layout
+// (feature headers "name:num" / "name:cat:<cardinality>", then __target__
+// and __sensitive__ columns; empty cells are missing values).
+//
+// Usage:
+//
+//	datagen -dataset COMPAS -seed 42 -out compas.csv
+//	datagen -all -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+func main() {
+	name := flag.String("dataset", "", "built-in dataset name (see -list)")
+	all := flag.Bool("all", false, "export all 19 datasets")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	out := flag.String("out", "", "output file (-dataset) or directory (-all); default stdout")
+	list := flag.Bool("list", false, "list built-in datasets and exit")
+	describe := flag.Bool("describe", false, "print dataset statistics instead of CSV")
+	flag.Parse()
+
+	if *list {
+		for _, n := range dfs.BuiltinDatasets() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *describe {
+		names := dfs.BuiltinDatasets()
+		if *name != "" {
+			names = []string{*name}
+		}
+		for _, n := range names {
+			d, err := dfs.GenerateBuiltin(n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			fmt.Println(dfs.Describe(d))
+		}
+		return
+	}
+	if err := run(*name, *all, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, all bool, seed uint64, out string) error {
+	switch {
+	case all:
+		if out == "" {
+			return fmt.Errorf("-all requires -out DIR")
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		for _, n := range dfs.BuiltinDatasets() {
+			path := filepath.Join(out, slug(n)+".csv")
+			if err := export(n, seed, path); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	case name != "":
+		if out == "" {
+			tab, err := dfs.GenerateBuiltinTable(name, seed)
+			if err != nil {
+				return err
+			}
+			return dfs.WriteCSV(os.Stdout, tab)
+		}
+		return export(name, seed, out)
+	default:
+		return fmt.Errorf("pass -dataset NAME or -all (see -h)")
+	}
+}
+
+func export(name string, seed uint64, path string) error {
+	tab, err := dfs.GenerateBuiltinTable(name, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dfs.WriteCSV(f, tab); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func slug(name string) string {
+	s := strings.ToLower(name)
+	s = strings.ReplaceAll(s, " ", "_")
+	return s
+}

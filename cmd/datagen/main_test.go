@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+func TestSlug(t *testing.T) {
+	if slug("KDD Internet Usage") != "kdd_internet_usage" {
+		t.Fatalf("slug = %q", slug("KDD Internet Usage"))
+	}
+}
+
+func TestExportAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compas.csv")
+	if err := export("COMPAS", 7, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := dfs.LoadCSV(f, "compas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", false, 1, ""); err == nil {
+		t.Fatal("no dataset and no -all accepted")
+	}
+	if err := run("", true, 1, ""); err == nil {
+		t.Fatal("-all without -out accepted")
+	}
+	if err := run("nope", false, 1, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exports all 19 datasets")
+	}
+	dir := t.TempDir()
+	if err := run("", true, 3, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 19 {
+		t.Fatalf("exported %d files, want 19", len(entries))
+	}
+}

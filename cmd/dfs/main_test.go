@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]dfs.ModelKind{
+		"":    dfs.LR,
+		"LR":  dfs.LR,
+		"lr":  dfs.LR,
+		" nb": dfs.NB,
+		"DT":  dfs.DT,
+		"svm": dfs.SVM,
+	}
+	for in, want := range cases {
+		got, err := parseModel(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("%q parsed to %q, want %q", in, got, want)
+		}
+	}
+	if _, err := parseModel("xgboost"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestLoadDatasetBuiltin(t *testing.T) {
+	d, err := loadDataset(spec{Dataset: "COMPAS", DataSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := loadDataset(spec{}); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+	if _, err := loadDataset(spec{Dataset: "missing.csv"}); err == nil {
+		t.Fatal("missing CSV accepted")
+	}
+}
+
+func TestLoadDatasetCSV(t *testing.T) {
+	tab, err := dfs.GenerateBuiltinTable("Brazil Tourism", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.WriteCSV(f, tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDataset(spec{Dataset: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != tab.Rows() {
+		t.Fatalf("rows %d != %d", d.Rows(), tab.Rows())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	specJSON := `{
+		"dataset": "COMPAS",
+		"model": "LR",
+		"strategy": "SFS(NR)",
+		"min_f1": 0.5,
+		"max_search_cost": 500,
+		"seed": 3,
+		"max_evaluations": 30
+	}`
+	if err := os.WriteFile(path, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}

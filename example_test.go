@@ -1,0 +1,69 @@
+package dfs_test
+
+import (
+	"fmt"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+// ExampleSelect demonstrates the basic declarative workflow: generate a
+// benchmark dataset, declare constraints, and receive a confirmed feature
+// subset.
+func ExampleSelect() {
+	data, err := dfs.GenerateBuiltin("COMPAS", 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sel, err := dfs.Select(data, dfs.LR, dfs.Constraints{
+		MinF1:          0.5,
+		MaxSearchCost:  2000,
+		MaxFeatureFrac: 1,
+	}, dfs.WithSeed(3), dfs.WithMaxEvaluations(40))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("satisfied:", sel.Satisfied)
+	fmt.Println("strategy:", sel.Strategy)
+	// Output:
+	// satisfied: true
+	// strategy: SFFS(NR)
+}
+
+// ExampleConstraints_String shows how a constraint set renders.
+func ExampleConstraints_String() {
+	cs := dfs.Constraints{
+		MinF1:          0.7,
+		MinEO:          0.9,
+		PrivacyEps:     1.5,
+		MaxFeatureFrac: 0.25,
+		MaxSearchCost:  300,
+	}
+	fmt.Println(cs)
+	// Output:
+	// F1>=0.70, features<=25%, EO>=0.90, eps=1.50, budget=300
+}
+
+// ExampleStrategies lists the strategy catalogue.
+func ExampleStrategies() {
+	names := dfs.Strategies()
+	fmt.Println(len(names), "strategies, e.g.", names[len(names)-2])
+	// Output:
+	// 16 strategies, e.g. SFFS(NR)
+}
+
+// ExampleDescribe summarizes a dataset before declaring constraints.
+func ExampleDescribe() {
+	data, err := dfs.GenerateBuiltin("Indian Liver Patient", 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	stats := dfs.Describe(data)
+	fmt.Println("rows:", stats.Rows)
+	fmt.Println("features:", stats.Features)
+	// Output:
+	// rows: 583
+	// features: 11
+}

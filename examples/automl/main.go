@@ -1,0 +1,76 @@
+// AutoML: let DFS pick the model family and the strategy, not just the
+// features.
+//
+// Two extensions from the paper's future-work section (§7), implemented
+// here: declarative AutoML (SelectAuto searches over LR, NB, and DT under
+// one shared budget) and the meta-learning advisor with dynamic strategy
+// switching (a self-trained optimizer ranks the 16 strategies for the
+// scenario; the top ones run in sequence, warm-starting each other through
+// the shared evaluation cache).
+//
+//	go run ./examples/automl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+func main() {
+	data, err := dfs.GenerateBuiltin("Students", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	constraints := dfs.Constraints{
+		MinF1:          0.55,
+		MaxSearchCost:  6000,
+		MaxFeatureFrac: 0.6,
+	}
+
+	// Declarative AutoML: model + features under one budget.
+	sel, err := dfs.SelectAuto(data, constraints, dfs.WithSeed(5), dfs.WithMaxEvaluations(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sel.Satisfied {
+		fmt.Printf("SelectAuto picked %s via %s: %d features, test F1=%.3f\n",
+			sel.Model, sel.Strategy, len(sel.Features), sel.Test.F1)
+	} else {
+		fmt.Printf("SelectAuto found nothing (closest distance %.4f)\n", sel.BestDistance)
+	}
+
+	// Meta-learning advisor: train once (here on a tiny self-generated
+	// pool; persist and reuse in real deployments), then ask it which
+	// strategy fits a scenario before spending any search budget.
+	fmt.Println("training advisor on self-generated scenarios...")
+	advisor, err := dfs.TrainAdvisor(dfs.AdvisorConfig{
+		Scenarios: 12,
+		Datasets:  []string{"COMPAS", "Students", "Brazil Tourism"},
+		Seed:      3,
+		MaxEvals:  30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := advisor.Recommend(data, dfs.LR, constraints, dfs.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advisor ranking (top 5): %v\n", ranked[:5])
+
+	// Dynamic switching: the top-3 strategies share one budget; each stage
+	// gets half of what remains and hands over when it stalls.
+	dyn, err := advisor.SelectDynamic(data, dfs.LR, constraints, 3,
+		dfs.WithSeed(5), dfs.WithMaxEvaluations(120))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dyn.Satisfied {
+		fmt.Printf("dynamic selection solved it with %s: test F1=%.3f EO=%.3f\n",
+			dyn.Strategy, dyn.Test.F1, dyn.Test.EO)
+	} else {
+		fmt.Printf("dynamic selection failed (closest distance %.4f)\n", dyn.BestDistance)
+	}
+}

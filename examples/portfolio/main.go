@@ -1,0 +1,44 @@
+// Portfolio: run several strategies in parallel on the same scenario.
+//
+// No single FS strategy dominates (Table 3) — but the study shows that a
+// portfolio of just 5 strategies covers 94% of the satisfiable scenarios
+// (Table 8). RunPortfolio with an empty list uses exactly that top-5
+// combination and returns the fastest satisfying result.
+//
+//	go run ./examples/portfolio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+func main() {
+	data, err := dfs.GenerateBuiltin("German Credit", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	constraints := dfs.Constraints{
+		MinF1:          0.45,
+		MinEO:          0.85,
+		MaxSearchCost:  4000,
+		MaxFeatureFrac: 0.5, // at most half the features
+	}
+
+	// The study's best coverage portfolio: TPE(FCBF) + SFFS + TPE(NR) +
+	// TPE(MIM) + SA (Table 8, k=5).
+	sel, err := dfs.RunPortfolio(data, dfs.LR, constraints, nil,
+		dfs.WithSeed(9), dfs.WithMaxEvaluations(80))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sel.Satisfied {
+		fmt.Printf("portfolio found nothing (closest distance %.4f)\n", sel.BestDistance)
+		return
+	}
+	fmt.Printf("winner:   %s (cost %.1f units)\n", sel.Strategy, sel.Cost)
+	fmt.Printf("features: %d of %d (%v)\n", len(sel.Features), data.Features(), sel.FeatureNames)
+	fmt.Printf("test F1=%.3f EO=%.3f\n", sel.Test.F1, sel.Test.EO)
+}

@@ -1,0 +1,52 @@
+// Safety: enforce robustness against black-box evasion attacks.
+//
+// The safety score is empirical robustness (§3): a HopSkipJump-style
+// decision-based attack perturbs test instances until the model flips its
+// prediction; safety = 1 − (F1_original − F1_attacked). Fewer features give
+// the adversary fewer directions to fiddle with, so safety constraints push
+// toward small feature sets (Table 5).
+//
+//	go run ./examples/safety
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dfs "github.com/declarative-fs/dfs"
+)
+
+func main() {
+	data, err := dfs.GenerateBuiltin("Telco Customer Churn", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s (%d features)\n", data.Name, data.Features())
+
+	// Baseline: how safe is the full feature set?
+	loose := dfs.Constraints{MinF1: 0.30, MinSafety: 0.01, MaxSearchCost: 6000, MaxFeatureFrac: 1}
+	base, err := dfs.Select(data, dfs.DT, loose,
+		dfs.WithStrategy("SFS(NR)"), dfs.WithSeed(3), dfs.WithMaxEvaluations(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if base.Satisfied {
+		fmt.Printf("baseline subset (%d features): test F1=%.3f safety=%.3f\n",
+			len(base.Features), base.Test.F1, base.Test.Safety)
+	}
+
+	// Now demand robustness: the attacked F1 may drop at most 15 points.
+	robust := dfs.Constraints{MinF1: 0.30, MinSafety: 0.85, MaxSearchCost: 6000, MaxFeatureFrac: 1}
+	sel, err := dfs.Select(data, dfs.DT, robust,
+		dfs.WithStrategy("SFFS(NR)"), dfs.WithSeed(3), dfs.WithMaxEvaluations(120))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sel.Satisfied {
+		fmt.Printf("no robust subset found (closest distance %.4f)\n", sel.BestDistance)
+		return
+	}
+	fmt.Printf("robust subset  (%d features): test F1=%.3f safety=%.3f\n",
+		len(sel.Features), sel.Test.F1, sel.Test.Safety)
+	fmt.Printf("features: %v\n", sel.FeatureNames)
+}

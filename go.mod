@@ -1,0 +1,3 @@
+module github.com/declarative-fs/dfs
+
+go 1.22

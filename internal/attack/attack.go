@@ -1,0 +1,218 @@
+// Package attack implements a decision-based black-box evasion attack in the
+// HopSkipJump family (Chen, Jordan & Wainwright, 2020): starting from any
+// misclassified point, it bisects to the decision boundary, estimates the
+// boundary normal from Monte-Carlo sign queries, steps along it, and repeats
+// — using only Predict() calls, never gradients or probabilities.
+//
+// The paper uses this attack to measure Min Safety: empirical robustness is
+// the F1 drop between the original and the attacked test set (§3). The
+// property DFS relies on — more features give the adversary more directions
+// to fiddle with, hence lower safety — emerges naturally from the geometry:
+// in higher dimensions the attack finds closer boundary points.
+package attack
+
+import (
+	"math"
+
+	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/linalg"
+	"github.com/declarative-fs/dfs/internal/metrics"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// Config tunes the attack's query budget.
+type Config struct {
+	// Iterations is the number of boundary-refinement rounds.
+	Iterations int
+	// GradSamples is the number of Monte-Carlo sign queries per gradient
+	// estimate.
+	GradSamples int
+	// BinarySearchSteps bounds each bisection toward the boundary.
+	BinarySearchSteps int
+	// MaxDist is the L2 distance at which an adversarial example still
+	// counts as an attack success; beyond it the perturbation is considered
+	// too conspicuous. Zero means unlimited.
+	MaxDist float64
+}
+
+// DefaultConfig returns the budget used by the benchmark: small enough to
+// evaluate inside a feature-selection loop, large enough to flip fragile
+// models.
+func DefaultConfig() Config {
+	return Config{Iterations: 3, GradSamples: 12, BinarySearchSteps: 10, MaxDist: 0}
+}
+
+// Result describes one attacked instance.
+type Result struct {
+	// Adversarial is the perturbed feature vector (nil if no starting point
+	// of the opposite class existed).
+	Adversarial []float64
+	// Success reports whether the model misclassifies Adversarial relative
+	// to its original prediction (within MaxDist, when set).
+	Success bool
+	// Queries counts Predict calls spent.
+	Queries int
+}
+
+// Attack perturbs instance x so that clf's prediction flips. pool provides
+// starting points (any instance predicted differently than x); typically the
+// rest of the test set.
+func Attack(clf model.Classifier, x []float64, pool *linalg.Matrix, cfg Config, rng *xrand.RNG) Result {
+	q := &querier{clf: clf}
+	orig := q.predict(x)
+
+	// Initial adversarial: first pool row classified differently.
+	var adv []float64
+	for i := 0; i < pool.Rows; i++ {
+		if q.predict(pool.Row(i)) != orig {
+			adv = append([]float64(nil), pool.Row(i)...)
+			break
+		}
+	}
+	if adv == nil {
+		return Result{Queries: q.count}
+	}
+
+	adv = q.bisect(x, adv, orig, cfg.BinarySearchSteps)
+	dim := len(x)
+	for it := 0; it < cfg.Iterations; it++ {
+		// Estimate the boundary normal via Monte-Carlo sign queries.
+		delta := linalg.Norm2(sub(adv, x)) / math.Sqrt(float64(dim)+1)
+		if delta <= 0 {
+			break
+		}
+		grad := make([]float64, dim)
+		for s := 0; s < cfg.GradSamples; s++ {
+			u := make([]float64, dim)
+			for j := range u {
+				u[j] = rng.Norm()
+			}
+			n := linalg.Norm2(u)
+			if n == 0 {
+				continue
+			}
+			probe := make([]float64, dim)
+			for j := range probe {
+				probe[j] = clamp01(adv[j] + delta*u[j]/n)
+			}
+			sign := -1.0
+			if q.predict(probe) != orig {
+				sign = 1.0
+			}
+			for j := range grad {
+				grad[j] += sign * u[j] / n
+			}
+		}
+		gn := linalg.Norm2(grad)
+		if gn == 0 {
+			break
+		}
+		// Geometric step-size search along the estimated normal.
+		step := linalg.Norm2(sub(adv, x)) / math.Sqrt(float64(it)+1)
+		moved := false
+		for step > 1e-4 {
+			cand := make([]float64, dim)
+			for j := range cand {
+				cand[j] = clamp01(adv[j] + step*grad[j]/gn)
+			}
+			if q.predict(cand) != orig {
+				adv = cand
+				moved = true
+				break
+			}
+			step /= 2
+		}
+		if !moved {
+			break
+		}
+		adv = q.bisect(x, adv, orig, cfg.BinarySearchSteps)
+	}
+
+	success := q.predict(adv) != orig
+	if success && cfg.MaxDist > 0 && linalg.Norm2(sub(adv, x)) > cfg.MaxDist {
+		success = false
+	}
+	return Result{Adversarial: adv, Success: success, Queries: q.count}
+}
+
+// EmpiricalRobustness attacks up to maxInstances rows of test and returns
+// the paper's safety score 1 − (F1_original − F1_attacked) computed over the
+// attacked subset, plus the total number of model queries spent.
+func EmpiricalRobustness(clf model.Classifier, test *dataset.Dataset, maxInstances int, cfg Config, rng *xrand.RNG) (safety float64, queries int) {
+	n := test.Rows()
+	if n == 0 {
+		return 1, 0
+	}
+	k := maxInstances
+	if k <= 0 || k > n {
+		k = n
+	}
+	idx := rng.Sample(n, k)
+
+	yTrue := make([]int, k)
+	yOrig := make([]int, k)
+	yAtt := make([]int, k)
+	for pos, i := range idx {
+		row := test.X.Row(i)
+		yTrue[pos] = test.Y[i]
+		yOrig[pos] = clf.Predict(row)
+		res := Attack(clf, row, test.X, cfg, rng)
+		queries += res.Queries
+		if res.Success {
+			yAtt[pos] = clf.Predict(res.Adversarial)
+		} else {
+			yAtt[pos] = yOrig[pos]
+		}
+	}
+	f1o := metrics.F1Score(yTrue, yOrig)
+	f1a := metrics.F1Score(yTrue, yAtt)
+	return metrics.Safety(f1o, f1a), queries
+}
+
+type querier struct {
+	clf   model.Classifier
+	count int
+}
+
+func (q *querier) predict(x []float64) int {
+	q.count++
+	return q.clf.Predict(x)
+}
+
+// bisect walks the segment [x, adv] to the boundary, returning the point on
+// the adversarial side.
+func (q *querier) bisect(x, adv []float64, orig int, steps int) []float64 {
+	lo := append([]float64(nil), x...)   // original side
+	hi := append([]float64(nil), adv...) // adversarial side
+	mid := make([]float64, len(x))
+	for s := 0; s < steps; s++ {
+		for j := range mid {
+			mid[j] = (lo[j] + hi[j]) / 2
+		}
+		if q.predict(mid) != orig {
+			copy(hi, mid)
+		} else {
+			copy(lo, mid)
+		}
+	}
+	return hi
+}
+
+func sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

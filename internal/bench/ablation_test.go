@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPruningAblation(t *testing.T) {
+	res, err := PruningAblation("COMPAS", 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 3 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	// Every trained subset in the pruned run respects the cap, so the
+	// budget buys at least as many satisfactions as the unpruned run.
+	if res.WithSatisfied < res.WithoutSatisfied {
+		t.Fatalf("pruning satisfied less: %d vs %d", res.WithSatisfied, res.WithoutSatisfied)
+	}
+	text := res.Render()
+	if !strings.Contains(text, "with pruning") || !strings.Contains(text, "without pruning") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestFloatingAblation(t *testing.T) {
+	res, err := FloatingAblation("COMPAS", 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PlainBestDistance < 0 || row.FloatingBestDistance < 0 {
+			t.Fatal("negative distances")
+		}
+		if row.PlainSatisfied > row.Trials || row.FloatingSatisfied > row.Trials {
+			t.Fatal("satisfaction counts exceed trials")
+		}
+	}
+	if !strings.Contains(res.Render(), "SFFS(NR)") {
+		t.Fatal("render missing pair")
+	}
+}
+
+func TestTPEAblation(t *testing.T) {
+	res, err := TPEAblation("COMPAS", 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPEMeanEvals < 0 || res.RandomMeanEvals < 0 {
+		t.Fatal("negative evaluation counts")
+	}
+	if res.TPESatisfied > res.Trials || res.RandomSatisfied > res.Trials {
+		t.Fatal("satisfaction counts exceed trials")
+	}
+	text := res.Render()
+	if !strings.Contains(text, "TPE") || !strings.Contains(text, "random") {
+		t.Fatal("render missing variants")
+	}
+}
+
+func TestAblationUnknownDataset(t *testing.T) {
+	if _, err := PruningAblation("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := FloatingAblation("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := TPEAblation("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

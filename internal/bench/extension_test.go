@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/core"
+)
+
+func TestSequenceExperiment(t *testing.T) {
+	res, err := SequenceExperiment("COMPAS", 4, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 4 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if res.SingleSatisfied > res.Comparable || res.SequenceSatisfied > res.Comparable {
+		t.Fatal("satisfaction counts exceed comparable scenarios")
+	}
+	text := res.Render()
+	if !strings.Contains(text, "SFFS(NR)") || !strings.Contains(text, "Sequence(") {
+		t.Fatalf("render missing contenders:\n%s", text)
+	}
+}
+
+func TestSequenceExperimentUnknownDataset(t *testing.T) {
+	if _, err := SequenceExperiment("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestWritePoolCSV(t *testing.T) {
+	p := handPool()
+	var buf bytes.Buffer
+	if err := WritePoolCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 4 scenarios × (16 strategies + baseline).
+	want := 1 + 4*(len(core.StrategyNames)+1)
+	if len(rows) != want {
+		t.Fatalf("rows %d, want %d", len(rows), want)
+	}
+	header := rows[0]
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	// Find the rec-0 SFS row and check its fields.
+	found := false
+	for _, row := range rows[1:] {
+		if row[col["scenario"]] == "0" && row[col["strategy"]] == "SFS(NR)" {
+			found = true
+			if row[col["satisfied"]] != "true" {
+				t.Fatal("rec 0 SFS should be satisfied")
+			}
+			cost, err := strconv.ParseFloat(row[col["cost_at_solution"]], 64)
+			if err != nil || cost != 10 {
+				t.Fatalf("cost %q", row[col["cost_at_solution"]])
+			}
+			if row[col["dataset"]] != "A" || row[col["model"]] != "LR" {
+				t.Fatal("metadata wrong")
+			}
+			if row[col["satisfiable"]] != "true" {
+				t.Fatal("satisfiable flag wrong")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rec 0 SFS row missing")
+	}
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/optimizer"
+)
+
+// OptimizerEval is the leave-one-dataset-out evaluation of the DFS optimizer
+// (§6.1: "we follow the leave-one-out cross-validation approach by always
+// considering the experiments of one dataset as the test set").
+type OptimizerEval struct {
+	// Chosen maps scenario ID to the strategy the optimizer picked when its
+	// dataset was held out.
+	Chosen map[int]string
+	// Predicted maps scenario ID to the per-strategy satisfaction
+	// predictions (probability ≥ 0.5), for Table 9.
+	Predicted map[int]map[string]bool
+}
+
+// EvaluateOptimizer trains the meta-learner once per held-out dataset on all
+// other datasets' records and predicts on the held-out ones.
+func EvaluateOptimizer(p *Pool, seed uint64) (*OptimizerEval, error) {
+	out := &OptimizerEval{
+		Chosen:    make(map[int]string),
+		Predicted: make(map[int]map[string]bool),
+	}
+	for _, held := range datasetsOf(p) {
+		var examples []optimizer.Example
+		var testIDs []int
+		for i := range p.Records {
+			r := &p.Records[i]
+			if r.Dataset == held {
+				testIDs = append(testIDs, r.ID)
+				continue
+			}
+			sat := make(map[string]bool, len(core.StrategyNames))
+			for _, s := range core.StrategyNames {
+				sat[s] = r.Results[s].Satisfied
+			}
+			examples = append(examples, optimizer.Example{X: r.MetaX, Satisfied: sat})
+		}
+		if len(examples) == 0 || len(testIDs) == 0 {
+			continue
+		}
+		opt, err := optimizer.Train(examples, core.StrategyNames, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: LODO training for %s: %w", held, err)
+		}
+		for _, id := range testIDs {
+			r := &p.Records[id]
+			out.Chosen[id] = opt.Choose(r.MetaX)
+			probs := opt.Probabilities(r.MetaX)
+			pred := make(map[string]bool, len(probs))
+			for s, pr := range probs {
+				pred[s] = pr >= 0.5
+			}
+			out.Predicted[id] = pred
+		}
+	}
+	return out, nil
+}
+
+// optimizerCoverage aggregates the optimizer's coverage like a strategy's:
+// a scenario counts as covered when the chosen strategy satisfied it.
+func optimizerCoverage(p *Pool, eval *OptimizerEval) MeanStd {
+	return perDatasetFraction(p, func(r *Record) bool {
+		chosen, ok := eval.Chosen[r.ID]
+		return ok && r.Results[chosen].Satisfied
+	})
+}
+
+// optimizerFastest aggregates how often the chosen strategy tied the
+// fastest solution.
+func optimizerFastest(p *Pool, eval *OptimizerEval) MeanStd {
+	return perDatasetFraction(p, func(r *Record) bool {
+		chosen, ok := eval.Chosen[r.ID]
+		return ok && r.fastestContains(chosen)
+	})
+}

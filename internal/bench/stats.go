@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/declarative-fs/dfs/internal/metrics"
+)
+
+// MeanStd is a mean ± standard deviation pair, the cell format of the
+// paper's tables (the spread is taken across datasets).
+type MeanStd struct {
+	Mean, Std float64
+}
+
+// String renders "0.60±0.22" like the paper's tables.
+func (m MeanStd) String() string {
+	return fmt.Sprintf("%.2f±%.2f", m.Mean, m.Std)
+}
+
+func meanStd(vals []float64) MeanStd {
+	m, s := metrics.MeanStd(vals)
+	return MeanStd{Mean: m, Std: s}
+}
+
+// datasetsOf lists the dataset names present in the pool, in profile order.
+func datasetsOf(p *Pool) []string {
+	seen := map[string]bool{}
+	for i := range p.Records {
+		seen[p.Records[i].Dataset] = true
+	}
+	var out []string
+	for _, name := range p.Config.Datasets {
+		if seen[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// perDatasetFraction computes, for every dataset with at least one
+// satisfiable scenario, the fraction of its satisfiable scenarios for which
+// hit returns true, and aggregates mean ± std across datasets.
+func perDatasetFraction(p *Pool, hit func(r *Record) bool) MeanStd {
+	var fracs []float64
+	for _, ds := range datasetsOf(p) {
+		total, hits := 0, 0
+		for i := range p.Records {
+			r := &p.Records[i]
+			if r.Dataset != ds || !r.Satisfiable() {
+				continue
+			}
+			total++
+			if hit(r) {
+				hits++
+			}
+		}
+		if total > 0 {
+			fracs = append(fracs, float64(hits)/float64(total))
+		}
+	}
+	return meanStd(fracs)
+}
+
+// globalFraction is the pool-wide fraction of satisfiable scenarios for
+// which hit returns true (used by the single-number tables 5 and 6).
+func globalFraction(p *Pool, include, hit func(r *Record) bool) float64 {
+	total, hits := 0, 0
+	for i := range p.Records {
+		r := &p.Records[i]
+		if !r.Satisfiable() || (include != nil && !include(r)) {
+			continue
+		}
+		total++
+		if hit(r) {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// coverage is the per-dataset-aggregated coverage of one strategy.
+func coverage(p *Pool, strategy string) MeanStd {
+	return perDatasetFraction(p, func(r *Record) bool {
+		return r.Results[strategy].Satisfied
+	})
+}
+
+// fastestFraction is the per-dataset-aggregated fraction of scenarios where
+// the strategy tied the fastest satisfying run.
+func fastestFraction(p *Pool, strategy string) MeanStd {
+	return perDatasetFraction(p, func(r *Record) bool {
+		return r.fastestContains(strategy)
+	})
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,198 @@
+package bench
+
+// Unit tests for the table aggregations on a handcrafted pool with fully
+// known outcomes — unlike bench_test.go's integration tests, these pin the
+// exact arithmetic of coverage, fastest fractions, conditioning, and the
+// greedy portfolio.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// handPool builds a pool of four scenarios over two datasets:
+//
+//	rec 0 (ds A): SFS satisfied at cost 10, FCBF at cost 5  → FCBF fastest
+//	rec 1 (ds A): SFS satisfied at cost 10                  → SFS fastest
+//	rec 2 (ds B): FCBF satisfied at cost 2, SFS at cost 2   → tie
+//	rec 3 (ds B): nobody satisfied                          → not satisfiable
+func handPool() *Pool {
+	mk := func(id int, ds string, outcomes map[string][2]float64, cs constraint.Set) Record {
+		res := map[string]core.RunResult{core.OriginalFeaturesName: {Strategy: core.OriginalFeaturesName}}
+		for _, s := range core.StrategyNames {
+			out := core.RunResult{Strategy: s, BestValDistance: 0.5, BestTestDistance: 0.6}
+			if o, ok := outcomes[s]; ok {
+				out.Satisfied = true
+				out.CostAtSolution = o[0]
+				out.TestScores = constraint.Scores{F1: o[1]}
+				out.BestValDistance = 0
+				out.BestTestDistance = 0
+			}
+			res[s] = out
+		}
+		return Record{ID: id, Dataset: ds, Model: model.KindLR, Constraints: cs, Results: res,
+			MetaX: []float64{float64(id)}}
+	}
+	base := constraint.Set{MinF1: 0.6, MaxSearchCost: 100, MaxFeatureFrac: 1}
+	eo := base
+	eo.MinEO = 0.9
+	pool := &Pool{Config: Config{Datasets: []string{"A", "B"}}}
+	pool.Records = []Record{
+		mk(0, "A", map[string][2]float64{"SFS(NR)": {10, 0.8}, "TPE(FCBF)": {5, 0.7}}, eo),
+		mk(1, "A", map[string][2]float64{"SFS(NR)": {10, 0.9}}, base),
+		mk(2, "B", map[string][2]float64{"TPE(FCBF)": {2, 0.6}, "SFS(NR)": {2, 0.75}}, base),
+		mk(3, "B", nil, eo),
+	}
+	return pool
+}
+
+func TestCoverageArithmetic(t *testing.T) {
+	p := handPool()
+	// Dataset A: 2 satisfiable, SFS solves both → 1.0. Dataset B: 1
+	// satisfiable (rec 3 excluded), SFS solves it → 1.0. Mean 1, std 0.
+	got := coverage(p, "SFS(NR)")
+	if got.Mean != 1 || got.Std != 0 {
+		t.Fatalf("SFS coverage %+v", got)
+	}
+	// FCBF: A → 1/2, B → 1/1. Mean 0.75, std 0.25.
+	got = coverage(p, "TPE(FCBF)")
+	if math.Abs(got.Mean-0.75) > 1e-12 || math.Abs(got.Std-0.25) > 1e-12 {
+		t.Fatalf("FCBF coverage %+v", got)
+	}
+	// A never-satisfying strategy: 0.
+	if got := coverage(p, "SBS(NR)"); got.Mean != 0 {
+		t.Fatalf("SBS coverage %+v", got)
+	}
+}
+
+func TestFastestArithmeticWithTies(t *testing.T) {
+	p := handPool()
+	// rec 0: FCBF fastest. rec 1: SFS. rec 2: tie (both).
+	// SFS: A → 1/2 (rec 1), B → 1/1 (tie credit). Mean 0.75.
+	got := fastestFraction(p, "SFS(NR)")
+	if math.Abs(got.Mean-0.75) > 1e-12 {
+		t.Fatalf("SFS fastest %+v", got)
+	}
+	// FCBF: A → 1/2 (rec 0), B → 1/1. Mean 0.75.
+	got = fastestFraction(p, "TPE(FCBF)")
+	if math.Abs(got.Mean-0.75) > 1e-12 {
+		t.Fatalf("FCBF fastest %+v", got)
+	}
+	// FastestStrategy breaks the rec-2 tie by Table 3 order (SFS before
+	// FCBF? order is ..., SFS(NR), SFFS(NR), TPE(FCBF) — SFS wins).
+	if f := p.Records[2].FastestStrategy(); f != "SFS(NR)" {
+		t.Fatalf("tie-break winner %q", f)
+	}
+	set := p.Records[2].FastestSet()
+	if len(set) != 2 {
+		t.Fatalf("fastest set %v", set)
+	}
+}
+
+func TestTable5Conditioning(t *testing.T) {
+	p := handPool()
+	t5 := Table5(p)
+	// EO-conditioned scenarios: rec 0 (satisfiable) and rec 3 (not).
+	// Coverage denominators only count satisfiable ones → rec 0 only.
+	if got := t5.Coverage["SFS(NR)"]["Min EO"]; got != 1 {
+		t.Fatalf("SFS EO coverage %v", got)
+	}
+	if got := t5.Coverage["TPE(FCBF)"]["Min EO"]; got != 1 {
+		t.Fatalf("FCBF EO coverage %v", got)
+	}
+	if got := t5.Coverage["SBS(NR)"]["Min EO"]; got != 0 {
+		t.Fatalf("SBS EO coverage %v", got)
+	}
+	// No scenario declares safety → conditioned coverage must be 0 (empty).
+	if got := t5.Coverage["SFS(NR)"]["Min Safety"]; got != 0 {
+		t.Fatalf("safety coverage on empty condition %v", got)
+	}
+}
+
+func TestTable6Conditioning(t *testing.T) {
+	p := handPool()
+	t6 := Table6(p)
+	// All records are LR.
+	if got := t6.Coverage["SFS(NR)"][model.KindLR]; got != 1 {
+		t.Fatalf("LR coverage %v", got)
+	}
+	if got := t6.Coverage["SFS(NR)"][model.KindNB]; got != 0 {
+		t.Fatalf("NB coverage %v (no NB scenarios)", got)
+	}
+}
+
+func TestTable8GreedyOnHandPool(t *testing.T) {
+	p := handPool()
+	res := Table8(p)
+	// SFS alone covers everything satisfiable → first pick reaches 1.0 and
+	// the greedy loop stops.
+	if len(res.CoverageSteps) != 1 {
+		t.Fatalf("coverage steps %d", len(res.CoverageSteps))
+	}
+	if res.CoverageSteps[0].Added != "SFS(NR)" {
+		t.Fatalf("first pick %q", res.CoverageSteps[0].Added)
+	}
+	if res.CoverageSteps[0].Achieved.Mean != 1 {
+		t.Fatalf("achieved %v", res.CoverageSteps[0].Achieved)
+	}
+	// Fastest: SFS ties rec 2, wins rec 1, loses rec 0 → 0.75; adding FCBF
+	// reaches 1.0.
+	if res.FastestSteps[0].Achieved.Mean != 0.75 {
+		t.Fatalf("fastest k=1 %v", res.FastestSteps[0].Achieved)
+	}
+	if len(res.FastestSteps) < 2 || res.FastestSteps[1].Achieved.Mean != 1 {
+		t.Fatalf("fastest k=2 %+v", res.FastestSteps)
+	}
+}
+
+func TestTable4FailureDistancesOnHandPool(t *testing.T) {
+	p := handPool()
+	t4 := Table4(p, nil)
+	// SBS fails every satisfiable scenario (3 of them) with distance 0.5.
+	for _, row := range t4.Rows {
+		if row.Strategy != "SBS(NR)" {
+			continue
+		}
+		if math.Abs(row.DistanceVal.Mean-0.5) > 1e-12 {
+			t.Fatalf("SBS distance %v", row.DistanceVal)
+		}
+		if math.Abs(row.DistanceTest.Mean-0.6) > 1e-12 {
+			t.Fatalf("SBS test distance %v", row.DistanceTest)
+		}
+	}
+	// SFS never fails → no failure samples → zero stats.
+	for _, row := range t4.Rows {
+		if row.Strategy == "SFS(NR)" && row.DistanceVal.Mean != 0 {
+			t.Fatalf("SFS failure distance %v", row.DistanceVal)
+		}
+	}
+}
+
+func TestNormalizedF1OnHandPool(t *testing.T) {
+	p := handPool()
+	// rec 0: best F1 0.8 (SFS). FCBF achieved 0.7 → 0.875. rec 1: SFS
+	// 0.9/0.9 = 1, FCBF 0. rec 2: FCBF 0.6/0.75 = 0.8, SFS 1.
+	// Dataset A FCBF: (0.875 + 0)/2 = 0.4375; dataset B: rec 2 → 0.8,
+	// rec 3 skipped (nobody satisfied) → mean (0.4375+0.8)/2 = 0.61875.
+	got := normalizedF1(p, "TPE(FCBF)")
+	if math.Abs(got.Mean-0.61875) > 1e-9 {
+		t.Fatalf("FCBF normalized F1 %v", got.Mean)
+	}
+	got = normalizedF1(p, "SFS(NR)")
+	// A: (1 + 1)/2 = 1; B: 1 → mean 1.
+	if math.Abs(got.Mean-1) > 1e-9 {
+		t.Fatalf("SFS normalized F1 %v", got.Mean)
+	}
+}
+
+func TestSatisfiableIDsOnHandPool(t *testing.T) {
+	p := handPool()
+	ids := p.SatisfiableIDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("satisfiable IDs %v", ids)
+	}
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// Table7Row is one target-model row of the transferability experiment.
+type Table7Row struct {
+	TargetModel model.Kind
+	MinAccuracy MeanStd
+	MinEO       MeanStd
+	MinSafety   MeanStd
+}
+
+// Table7Result reproduces Table 7: the fraction of feature sets found by
+// SFFS under an LR model whose accuracy / EO / safety constraints still hold
+// after retraining a DT, NB, or SVM model on the same features.
+type Table7Result struct {
+	Rows []Table7Row
+}
+
+// Table7 re-evaluates every LR+SFFS solution of the pool under the other
+// model families. Fractions aggregate per dataset (mean ± std across
+// datasets with at least one transferable solution).
+func Table7(p *Pool, seed uint64) (*Table7Result, error) {
+	targets := []model.Kind{model.KindDT, model.KindNB, model.KindSVM}
+	type agg struct{ acc, eo, safety map[string][]float64 }
+	per := make(map[model.Kind]*agg, len(targets))
+	for _, k := range targets {
+		per[k] = &agg{
+			acc:    map[string][]float64{},
+			eo:     map[string][]float64{},
+			safety: map[string][]float64{},
+		}
+	}
+
+	for i := range p.Records {
+		r := &p.Records[i]
+		if r.Model != model.KindLR {
+			continue
+		}
+		out := r.Results["SFFS(NR)"]
+		if !out.Satisfied {
+			continue
+		}
+		scnSeed := p.Config.Seed ^ uint64(r.ID)
+		d, err := getDataset(p.Config.Seed, r.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range targets {
+			scn, err := core.NewScenario(d, k, r.Constraints, p.Config.HPO, core.ModeSatisfy, scnSeed)
+			if err != nil {
+				return nil, err
+			}
+			scn.AttackInstances = 6
+			ev, err := core.NewEvaluator(scn, budget.NewSim(1e12), seed^uint64(r.ID), 0)
+			if err != nil {
+				return nil, err
+			}
+			mask := make([]bool, d.Features())
+			for _, j := range out.Features {
+				mask[j] = true
+			}
+			scores, err := ev.EvaluateOnTest(&core.Candidate{Mask: mask})
+			if err != nil {
+				return nil, err
+			}
+			cs := r.Constraints
+			per[k].acc[r.Dataset] = append(per[k].acc[r.Dataset], boolTo01(scores.F1 >= cs.MinF1))
+			if cs.HasEO() {
+				per[k].eo[r.Dataset] = append(per[k].eo[r.Dataset], boolTo01(scores.EO >= cs.MinEO))
+			}
+			if cs.HasSafety() {
+				per[k].safety[r.Dataset] = append(per[k].safety[r.Dataset], boolTo01(scores.Safety >= cs.MinSafety))
+			}
+		}
+	}
+
+	res := &Table7Result{}
+	for _, k := range targets {
+		res.Rows = append(res.Rows, Table7Row{
+			TargetModel: k,
+			MinAccuracy: aggDatasets(per[k].acc),
+			MinEO:       aggDatasets(per[k].eo),
+			MinSafety:   aggDatasets(per[k].safety),
+		})
+	}
+	return res, nil
+}
+
+// aggDatasets averages per-dataset hit rates and spreads across datasets.
+func aggDatasets(byDataset map[string][]float64) MeanStd {
+	var means []float64
+	for _, ds := range sortStrings(sortedKeys(byDataset)) {
+		vals := byDataset[ds]
+		if len(vals) == 0 {
+			continue
+		}
+		m, _ := meanStdPair(vals)
+		means = append(means, m)
+	}
+	return meanStd(means)
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Render formats Table 7.
+func (t *Table7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", "Model", "MinAccuracy", "MinEO", "MinSafety")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", fmt.Sprintf("%s (SFFS)", r.TargetModel),
+			r.MinAccuracy, r.MinEO, r.MinSafety)
+	}
+	return b.String()
+}

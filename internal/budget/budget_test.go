@@ -1,0 +1,148 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSimMeterCharges(t *testing.T) {
+	m := NewSim(10)
+	if err := m.Charge(4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spent() != 4 || m.Limit() != 10 || m.Exhausted() {
+		t.Fatalf("state after charge: spent %v limit %v", m.Spent(), m.Limit())
+	}
+	if err := m.Charge(5); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Charge(2)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("expected ErrExhausted, got %v", err)
+	}
+	if !m.Exhausted() {
+		t.Fatal("meter should be exhausted")
+	}
+	// The crossing charge still counts.
+	if m.Spent() != 11 {
+		t.Fatalf("spent %v, want 11", m.Spent())
+	}
+}
+
+func TestSimMeterRejectsNegative(t *testing.T) {
+	m := NewSim(10)
+	if err := m.Charge(-1); err == nil || errors.Is(err, ErrExhausted) {
+		t.Fatalf("negative charge error: %v", err)
+	}
+}
+
+func TestSimMeterExactLimitExhausts(t *testing.T) {
+	m := NewSim(5)
+	if err := m.Charge(5); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("charge to exact limit: %v", err)
+	}
+}
+
+func TestWallMeter(t *testing.T) {
+	m := NewWall(time.Hour)
+	if err := m.Charge(1e12); err != nil {
+		t.Fatalf("fresh wall meter exhausted: %v", err)
+	}
+	if m.Exhausted() {
+		t.Fatal("hour-long meter exhausted immediately")
+	}
+	expired := NewWall(0)
+	if err := expired.Charge(0); !errors.Is(err, ErrExhausted) {
+		t.Fatal("expired wall meter accepted a charge")
+	}
+}
+
+func TestTrainCostScalesWithDims(t *testing.T) {
+	small := TrainCost(1000, 10, KindFactorLR)
+	bigRows := TrainCost(100000, 10, KindFactorLR)
+	bigFeats := TrainCost(1000, 1000, KindFactorLR)
+	if bigRows <= small || bigFeats <= small {
+		t.Fatal("cost must grow with dimensions")
+	}
+	// Linear scaling.
+	if bigRows/small != 100 {
+		t.Fatalf("row scaling %v, want 100", bigRows/small)
+	}
+	// Sub-one feature counts clamp to 1.
+	if TrainCost(1000, 0.2, KindFactorLR) != TrainCost(1000, 1, KindFactorLR) {
+		t.Fatal("fractional feature clamp missing")
+	}
+}
+
+func TestCostCalibration(t *testing.T) {
+	// Training LR on nominal Adult (48842 × 108) should cost on the order
+	// of one second-unit; the whole point of the calibration.
+	c := TrainCost(48842, 108, KindFactorLR)
+	if c < 0.1 || c > 10 {
+		t.Fatalf("Adult LR train cost %v units, expected O(1)", c)
+	}
+}
+
+func TestRankingCostOrdering(t *testing.T) {
+	const rows, feats = 48842, 108
+	variance := RankingCost(RankVariance, rows, feats)
+	chi2 := RankingCost(RankChi2, rows, feats)
+	relieff := RankingCost(RankReliefF, rows, feats)
+	mcfs := RankingCost(RankMCFS, rows, feats)
+	if variance <= 0 || chi2 <= variance {
+		t.Fatal("variance must be cheapest, chi2 slightly more")
+	}
+	if relieff <= chi2 || mcfs <= chi2 {
+		t.Fatal("ReliefF and MCFS must be far more expensive than chi2")
+	}
+	if RankingCost(RankModel, rows, feats) != 0 || RankingCost(RankNone, rows, feats) != 0 {
+		t.Fatal("model/none rankings are charged via training, not here")
+	}
+}
+
+func TestRankingFeasibilityBoundaryMatchesFigure4(t *testing.T) {
+	const maxBudget = 10800 // 3 h in cost units
+	traffic := [2]int{1578154, 2075}
+	airlines := [2]int{1076790, 746}
+	adult := [2]int{48842, 108}
+
+	// All heavy rankings exceed the budget on Traffic.
+	for _, fam := range []RankingFamily{RankReliefF, RankMCFS, RankFisher, RankMIM, RankFCBF} {
+		if c := RankingCost(fam, traffic[0], traffic[1]); c <= maxBudget {
+			t.Errorf("%s cost %v should exceed the 3h budget on Traffic", fam, c)
+		}
+	}
+	// ReliefF/MCFS/Fisher/MIM already fail on Airlines; FCBF still works
+	// there (Figure 4 shows coverage 0.55).
+	for _, fam := range []RankingFamily{RankReliefF, RankMCFS, RankFisher, RankMIM} {
+		if c := RankingCost(fam, airlines[0], airlines[1]); c <= maxBudget {
+			t.Errorf("%s cost %v should exceed the 3h budget on Airlines", fam, c)
+		}
+	}
+	if c := RankingCost(RankFCBF, airlines[0], airlines[1]); c > maxBudget {
+		t.Errorf("FCBF cost %v should stay feasible on Airlines", c)
+	}
+	// Everything is feasible on Adult.
+	for _, fam := range []RankingFamily{RankReliefF, RankMCFS, RankFisher, RankMIM, RankFCBF, RankVariance, RankChi2} {
+		if c := RankingCost(fam, adult[0], adult[1]); c > maxBudget/2 {
+			t.Errorf("%s cost %v should be cheap on Adult", fam, c)
+		}
+	}
+	// The cheap statistics remain feasible even on Traffic.
+	for _, fam := range []RankingFamily{RankVariance, RankChi2} {
+		if c := RankingCost(fam, traffic[0], traffic[1]); c > maxBudget {
+			t.Errorf("%s cost %v should stay feasible on Traffic", fam, c)
+		}
+	}
+}
+
+func TestAttackAndEvalCosts(t *testing.T) {
+	if EvalCost(1000, 10) <= 0 {
+		t.Fatal("eval cost must be positive")
+	}
+	a := AttackCost(20, 60, 48842, 108)
+	if a <= EvalCost(48842, 108) {
+		t.Fatal("attack must cost many inference passes")
+	}
+}

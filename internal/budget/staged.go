@@ -1,0 +1,46 @@
+package budget
+
+// Staged is a sub-meter carving a stage allowance out of a parent meter.
+// Every charge flows through to the parent; the stage is exhausted when
+// either its own allowance or the parent is. The dynamic strategy-switching
+// extension (§7 "Meta learning" future work) uses one stage per strategy:
+// a strategy that burns its allowance without converging hands the
+// remaining parent budget to the next one.
+type Staged struct {
+	parent    Meter
+	allowance float64
+	spent     float64
+}
+
+// NewStaged returns a stage drawing at most allowance units from parent.
+func NewStaged(parent Meter, allowance float64) *Staged {
+	return &Staged{parent: parent, allowance: allowance}
+}
+
+// Charge implements Meter.
+func (s *Staged) Charge(cost float64) error {
+	if err := s.parent.Charge(cost); err != nil {
+		s.spent += cost
+		return err
+	}
+	s.spent += cost
+	if s.spent >= s.allowance {
+		return ErrExhausted
+	}
+	return nil
+}
+
+// Spent implements Meter: the parent's total spend, so that solution
+// timestamps (the Fastest metric) stay comparable across stages.
+func (s *Staged) Spent() float64 { return s.parent.Spent() }
+
+// Limit implements Meter.
+func (s *Staged) Limit() float64 { return s.parent.Limit() }
+
+// Exhausted implements Meter.
+func (s *Staged) Exhausted() bool {
+	return s.spent >= s.allowance || s.parent.Exhausted()
+}
+
+// StageSpent returns the stage's own consumption.
+func (s *Staged) StageSpent() float64 { return s.spent }

@@ -1,0 +1,60 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStagedRespectsOwnAllowance(t *testing.T) {
+	parent := NewSim(100)
+	stage := NewStaged(parent, 10)
+	if err := stage.Charge(6); err != nil {
+		t.Fatal(err)
+	}
+	if stage.Exhausted() {
+		t.Fatal("stage exhausted early")
+	}
+	if err := stage.Charge(5); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("stage allowed to exceed allowance: %v", err)
+	}
+	if !stage.Exhausted() {
+		t.Fatal("stage should be exhausted")
+	}
+	// Parent keeps running.
+	if parent.Exhausted() {
+		t.Fatal("parent exhausted by one stage")
+	}
+	if parent.Spent() != 11 {
+		t.Fatalf("parent spent %v, want 11", parent.Spent())
+	}
+}
+
+func TestStagedRespectsParent(t *testing.T) {
+	parent := NewSim(5)
+	stage := NewStaged(parent, 100)
+	if err := stage.Charge(10); !errors.Is(err, ErrExhausted) {
+		t.Fatal("parent exhaustion not propagated")
+	}
+	if !stage.Exhausted() {
+		t.Fatal("stage must report parent exhaustion")
+	}
+}
+
+func TestStagedSpentTracksParentTotal(t *testing.T) {
+	parent := NewSim(100)
+	s1 := NewStaged(parent, 20)
+	if err := s1.Charge(8); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStaged(parent, 20)
+	if err := s2.Charge(4); err != nil {
+		t.Fatal(err)
+	}
+	// Spent is global so solution timestamps are comparable across stages.
+	if s2.Spent() != 12 {
+		t.Fatalf("stage global spent %v, want 12", s2.Spent())
+	}
+	if s2.StageSpent() != 4 {
+		t.Fatalf("stage own spent %v, want 4", s2.StageSpent())
+	}
+}

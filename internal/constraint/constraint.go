@@ -1,0 +1,187 @@
+// Package constraint models the paper's ML application constraints (§3):
+// the mandatory Min Accuracy (F1) and Max Search Time, and the optional Max
+// Feature Set Size, Min Equal Opportunity, Min Safety, and Min Privacy (ε).
+// It provides the constraint taxonomy of Table 1, the aggregated distance
+// objective of Eq. 1 and its utility extension Eq. 2 (§4.3), and the
+// randomized constraint-space sampler of Listing 1 used by the benchmark.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// Set is a declarative constraint set over one ML scenario. Zero values mean
+// "not specified" for the optional constraints; MaxFeatureFrac uses 1 (the
+// whole feature set) as its off value, mirroring Listing 1.
+type Set struct {
+	// MinF1 is the mandatory accuracy constraint (paper: F1 ≥ MinF1).
+	MinF1 float64
+	// MaxSearchCost is the mandatory search budget in cost units (the
+	// simulated equivalent of the paper's max search time).
+	MaxSearchCost float64
+	// MaxFeatureFrac limits the selected fraction of the original feature
+	// set; 1 (or 0) disables it.
+	MaxFeatureFrac float64
+	// MinEO is the minimum equal opportunity; 0 disables it.
+	MinEO float64
+	// MinSafety is the minimum empirical robustness; 0 disables it.
+	MinSafety float64
+	// PrivacyEps is the differential privacy budget ε; 0 disables privacy.
+	// Privacy is enforced by construction (DP model variant), so it never
+	// contributes to the distance objective.
+	PrivacyEps float64
+}
+
+// HasFeatureCap reports whether a feature-set-size constraint is active.
+func (s Set) HasFeatureCap() bool { return s.MaxFeatureFrac > 0 && s.MaxFeatureFrac < 1 }
+
+// HasEO reports whether a fairness constraint is active.
+func (s Set) HasEO() bool { return s.MinEO > 0 }
+
+// HasSafety reports whether a safety constraint is active.
+func (s Set) HasSafety() bool { return s.MinSafety > 0 }
+
+// HasPrivacy reports whether a differential privacy constraint is active.
+func (s Set) HasPrivacy() bool { return s.PrivacyEps > 0 }
+
+// Validate checks threshold ranges.
+func (s Set) Validate() error {
+	switch {
+	case s.MinF1 < 0 || s.MinF1 > 1:
+		return fmt.Errorf("constraint: MinF1 %v out of [0,1]", s.MinF1)
+	case s.MaxSearchCost <= 0:
+		return fmt.Errorf("constraint: MaxSearchCost %v must be positive", s.MaxSearchCost)
+	case s.MaxFeatureFrac < 0 || s.MaxFeatureFrac > 1:
+		return fmt.Errorf("constraint: MaxFeatureFrac %v out of [0,1]", s.MaxFeatureFrac)
+	case s.MinEO < 0 || s.MinEO > 1:
+		return fmt.Errorf("constraint: MinEO %v out of [0,1]", s.MinEO)
+	case s.MinSafety < 0 || s.MinSafety > 1:
+		return fmt.Errorf("constraint: MinSafety %v out of [0,1]", s.MinSafety)
+	case s.PrivacyEps < 0:
+		return fmt.Errorf("constraint: PrivacyEps %v negative", s.PrivacyEps)
+	}
+	return nil
+}
+
+// Scores holds the measured metrics of one evaluated feature subset.
+type Scores struct {
+	// F1 is the validation (or test) F1 score.
+	F1 float64
+	// EO is the equal opportunity score.
+	EO float64
+	// Safety is the empirical robustness score; only meaningful when the
+	// set declares a safety constraint (it is expensive to measure).
+	Safety float64
+	// FeatureFrac is the selected fraction of the original feature set.
+	FeatureFrac float64
+}
+
+// Distance implements Eq. 1: the sum of squared distances of every violated
+// constraint's score to its threshold. Privacy and search time never
+// contribute (privacy holds by construction; time is the budget meter's
+// job). A zero distance means all evaluable constraints are satisfied.
+func (s Set) Distance(sc Scores) float64 {
+	d := 0.0
+	if sc.F1 < s.MinF1 {
+		d += sq(sc.F1 - s.MinF1)
+	}
+	if s.HasFeatureCap() && sc.FeatureFrac > s.MaxFeatureFrac {
+		d += sq(sc.FeatureFrac - s.MaxFeatureFrac)
+	}
+	if s.HasEO() && sc.EO < s.MinEO {
+		d += sq(sc.EO - s.MinEO)
+	}
+	if s.HasSafety() && sc.Safety < s.MinSafety {
+		d += sq(sc.Safety - s.MinSafety)
+	}
+	return d
+}
+
+// Satisfied reports whether every evaluable constraint holds.
+func (s Set) Satisfied(sc Scores) bool { return s.Distance(sc) == 0 }
+
+// Objective implements Eq. 2: the distance while any constraint is violated,
+// and the negative utility once all are satisfied, so that minimizing the
+// objective first satisfies constraints and then maximizes utility. utility
+// is typically the F1 score; pass 0 when running in pure-satisfaction mode.
+func (s Set) Objective(sc Scores, utility float64) float64 {
+	if d := s.Distance(sc); d > 0 {
+		return d
+	}
+	return -utility
+}
+
+// String renders the active constraints compactly.
+func (s Set) String() string {
+	parts := []string{fmt.Sprintf("F1>=%.2f", s.MinF1)}
+	if s.HasFeatureCap() {
+		parts = append(parts, fmt.Sprintf("features<=%.0f%%", 100*s.MaxFeatureFrac))
+	}
+	if s.HasEO() {
+		parts = append(parts, fmt.Sprintf("EO>=%.2f", s.MinEO))
+	}
+	if s.HasSafety() {
+		parts = append(parts, fmt.Sprintf("safety>=%.2f", s.MinSafety))
+	}
+	if s.HasPrivacy() {
+		parts = append(parts, fmt.Sprintf("eps=%.2f", s.PrivacyEps))
+	}
+	parts = append(parts, fmt.Sprintf("budget=%.0f", s.MaxSearchCost))
+	return strings.Join(parts, ", ")
+}
+
+// Vector encodes the set as the fixed-width feature block the DFS optimizer
+// consumes (ρ_constraints in §5.2): one slot per benchmark constraint.
+func (s Set) Vector() []float64 {
+	frac := s.MaxFeatureFrac
+	if frac == 0 {
+		frac = 1
+	}
+	return []float64{s.MinF1, frac, s.MinEO, s.MinSafety, s.PrivacyEps, s.MaxSearchCost}
+}
+
+// VectorLen is the length of Vector().
+const VectorLen = 6
+
+func sq(v float64) float64 { return v * v }
+
+// SamplerConfig bounds the Listing 1 fuzzer.
+type SamplerConfig struct {
+	// MinSearchCost / MaxSearchCost bound the uniform search budget draw
+	// (the paper samples 10 s – 3 h).
+	MinSearchCost, MaxSearchCost float64
+}
+
+// DefaultSamplerConfig mirrors the paper's 10 s – 3 h window, expressed in
+// cost units (1 unit ≈ 1 s of the reference machine; see internal/budget).
+func DefaultSamplerConfig() SamplerConfig {
+	return SamplerConfig{MinSearchCost: 10, MaxSearchCost: 10800}
+}
+
+// Sample draws a random constraint set following Listing 1: mandatory
+// MinF1 ~ U(0.5, 1) and search budget ~ U(min, max); optional feature cap
+// U(0, 1), EO and safety U(0.8, 1) each present with probability ½, and a
+// log-normal(0, 1) privacy ε present with probability ½.
+func Sample(rng *xrand.RNG, cfg SamplerConfig) Set {
+	s := Set{
+		MinF1:          rng.Uniform(0.5, 1),
+		MaxSearchCost:  rng.Uniform(cfg.MinSearchCost, cfg.MaxSearchCost),
+		MaxFeatureFrac: 1,
+	}
+	if rng.Bool(0.5) {
+		s.MaxFeatureFrac = rng.Float64()
+	}
+	if rng.Bool(0.5) {
+		s.MinEO = rng.Uniform(0.8, 1)
+	}
+	if rng.Bool(0.5) {
+		s.MinSafety = rng.Uniform(0.8, 1)
+	}
+	if rng.Bool(0.5) {
+		s.PrivacyEps = rng.LogNormal(0, 1)
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+package constraint
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+func TestHasFlags(t *testing.T) {
+	s := Set{MinF1: 0.7, MaxSearchCost: 100, MaxFeatureFrac: 1}
+	if s.HasFeatureCap() || s.HasEO() || s.HasSafety() || s.HasPrivacy() {
+		t.Fatal("optional constraints should all be off")
+	}
+	s = Set{MinF1: 0.7, MaxSearchCost: 100, MaxFeatureFrac: 0.5, MinEO: 0.9, MinSafety: 0.85, PrivacyEps: 1.5}
+	if !s.HasFeatureCap() || !s.HasEO() || !s.HasSafety() || !s.HasPrivacy() {
+		t.Fatal("optional constraints should all be on")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Set{MinF1: 0.7, MaxSearchCost: 10, MaxFeatureFrac: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Set{
+		{MinF1: -0.1, MaxSearchCost: 10},
+		{MinF1: 1.1, MaxSearchCost: 10},
+		{MinF1: 0.5, MaxSearchCost: 0},
+		{MinF1: 0.5, MaxSearchCost: 10, MaxFeatureFrac: 2},
+		{MinF1: 0.5, MaxSearchCost: 10, MinEO: 1.5},
+		{MinF1: 0.5, MaxSearchCost: 10, MinSafety: -1},
+		{MinF1: 0.5, MaxSearchCost: 10, PrivacyEps: -1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("bad set %d accepted", i)
+		}
+	}
+}
+
+func TestDistanceZeroWhenSatisfied(t *testing.T) {
+	s := Set{MinF1: 0.7, MaxSearchCost: 10, MaxFeatureFrac: 0.5, MinEO: 0.9, MinSafety: 0.8}
+	sc := Scores{F1: 0.75, EO: 0.95, Safety: 0.9, FeatureFrac: 0.3}
+	if d := s.Distance(sc); d != 0 {
+		t.Fatalf("distance %v, want 0", d)
+	}
+	if !s.Satisfied(sc) {
+		t.Fatal("satisfied scores reported unsatisfied")
+	}
+}
+
+func TestDistanceSumsSquaredViolations(t *testing.T) {
+	s := Set{MinF1: 0.8, MaxSearchCost: 10, MinEO: 0.9}
+	sc := Scores{F1: 0.7, EO: 0.85, FeatureFrac: 1}
+	want := 0.1*0.1 + 0.05*0.05
+	if d := s.Distance(sc); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("distance %v, want %v", d, want)
+	}
+}
+
+func TestDistanceIgnoresInactiveConstraints(t *testing.T) {
+	s := Set{MinF1: 0.5, MaxSearchCost: 10} // EO/safety/cap off
+	sc := Scores{F1: 0.6, EO: 0, Safety: 0, FeatureFrac: 1}
+	if d := s.Distance(sc); d != 0 {
+		t.Fatalf("inactive constraints contributed: %v", d)
+	}
+}
+
+func TestFeatureCapViolation(t *testing.T) {
+	s := Set{MinF1: 0, MaxSearchCost: 10, MaxFeatureFrac: 0.2}
+	sc := Scores{F1: 1, FeatureFrac: 0.5}
+	if d := s.Distance(sc); math.Abs(d-0.09) > 1e-12 {
+		t.Fatalf("cap distance %v, want 0.09", d)
+	}
+}
+
+func TestObjectiveSwitchesToUtility(t *testing.T) {
+	s := Set{MinF1: 0.6, MaxSearchCost: 10}
+	unsat := Scores{F1: 0.5, FeatureFrac: 1}
+	if o := s.Objective(unsat, 0.5); o <= 0 {
+		t.Fatalf("violated objective %v should be positive distance", o)
+	}
+	sat := Scores{F1: 0.9, FeatureFrac: 1}
+	if o := s.Objective(sat, 0.9); o != -0.9 {
+		t.Fatalf("satisfied objective %v, want -0.9", o)
+	}
+	// Higher utility means lower objective once satisfied.
+	if s.Objective(sat, 0.9) >= s.Objective(sat, 0.5) {
+		t.Fatal("objective does not reward utility")
+	}
+}
+
+func TestStringListsActiveConstraints(t *testing.T) {
+	s := Set{MinF1: 0.7, MaxSearchCost: 100, MaxFeatureFrac: 0.25, MinEO: 0.9, PrivacyEps: 2}
+	str := s.String()
+	for _, want := range []string{"F1>=0.70", "features<=25%", "EO>=0.90", "eps=2.00", "budget=100"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+	if strings.Contains(str, "safety") {
+		t.Fatalf("String() = %q mentions inactive safety", str)
+	}
+}
+
+func TestVectorShape(t *testing.T) {
+	s := Set{MinF1: 0.7, MaxSearchCost: 50, MinEO: 0.9}
+	v := s.Vector()
+	if len(v) != VectorLen {
+		t.Fatalf("vector length %d", len(v))
+	}
+	if v[0] != 0.7 || v[1] != 1 || v[2] != 0.9 || v[5] != 50 {
+		t.Fatalf("vector %v", v)
+	}
+}
+
+func TestSampleRespectsListing1(t *testing.T) {
+	rng := xrand.New(1)
+	cfg := DefaultSamplerConfig()
+	var eoOn, safetyOn, privOn, capOn int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s := Sample(rng, cfg)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.MinF1 < 0.5 || s.MinF1 > 1 {
+			t.Fatalf("MinF1 %v outside U(0.5,1)", s.MinF1)
+		}
+		if s.MaxSearchCost < cfg.MinSearchCost || s.MaxSearchCost > cfg.MaxSearchCost {
+			t.Fatalf("budget %v outside window", s.MaxSearchCost)
+		}
+		if s.HasEO() {
+			eoOn++
+			if s.MinEO < 0.8 {
+				t.Fatalf("EO threshold %v below 0.8", s.MinEO)
+			}
+		}
+		if s.HasSafety() {
+			safetyOn++
+			if s.MinSafety < 0.8 {
+				t.Fatalf("safety threshold %v below 0.8", s.MinSafety)
+			}
+		}
+		if s.HasPrivacy() {
+			privOn++
+			if s.PrivacyEps <= 0 {
+				t.Fatalf("eps %v", s.PrivacyEps)
+			}
+		}
+		if s.HasFeatureCap() {
+			capOn++
+		}
+	}
+	for name, c := range map[string]int{"eo": eoOn, "safety": safetyOn, "privacy": privOn, "cap": capOn} {
+		frac := float64(c) / n
+		if frac < 0.4 || frac > 0.6 {
+			t.Fatalf("%s active fraction %v, want ~0.5", name, frac)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a := Sample(xrand.New(5), DefaultSamplerConfig())
+	b := Sample(xrand.New(5), DefaultSamplerConfig())
+	if a != b {
+		t.Fatal("same seed produced different constraint sets")
+	}
+}
+
+func TestTaxonomyMatchesTable1(t *testing.T) {
+	tax := Taxonomy()
+	if len(tax) != 8 {
+		t.Fatalf("taxonomy rows %d, want 8", len(tax))
+	}
+	byName := map[string]TaxonomyEntry{}
+	for _, e := range tax {
+		byName[e.Name] = e
+	}
+	if byName["Max Search Time"].EvaluationDependent {
+		t.Fatal("search time must be evaluation independent")
+	}
+	if !byName["Min Accuracy"].EvaluationDependent || byName["Min Accuracy"].FeatureDependence != DependencePositive {
+		t.Fatal("accuracy row wrong")
+	}
+	eo := byName["Min Equal Opportunity"]
+	if !eo.NeedsFeatures || !eo.NeedsTarget || !eo.NeedsPredictions || eo.NeedsModel {
+		t.Fatal("EO inputs wrong: needs features+target+predictions, not the model")
+	}
+	safety := byName["Min Safety"]
+	if !safety.NeedsModel {
+		t.Fatal("safety must need the trained model")
+	}
+	if byName["Min Privacy"].EvaluationDependent {
+		t.Fatal("privacy is enforced by construction, evaluation independent")
+	}
+}
+
+func TestPropertyDistanceNonNegativeAndConsistent(t *testing.T) {
+	f := func(rawF1, rawEO, rawSafety, rawFrac uint16, thrF1, thrEO uint16) bool {
+		sc := Scores{
+			F1:          float64(rawF1%1001) / 1000,
+			EO:          float64(rawEO%1001) / 1000,
+			Safety:      float64(rawSafety%1001) / 1000,
+			FeatureFrac: float64(rawFrac%1001) / 1000,
+		}
+		s := Set{
+			MinF1:         float64(thrF1%1001) / 1000,
+			MinEO:         float64(thrEO%1001) / 1000,
+			MaxSearchCost: 10,
+		}
+		d := s.Distance(sc)
+		if d < 0 {
+			return false
+		}
+		return (d == 0) == s.Satisfied(sc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceMonotoneInF1(t *testing.T) {
+	s := Set{MinF1: 0.9, MaxSearchCost: 10}
+	f := func(a, b uint16) bool {
+		f1a := float64(a%1001) / 1000
+		f1b := float64(b%1001) / 1000
+		if f1a > f1b {
+			f1a, f1b = f1b, f1a
+		}
+		return s.Distance(Scores{F1: f1a, FeatureFrac: 1}) >= s.Distance(Scores{F1: f1b, FeatureFrac: 1})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// MetricInput is what a custom constraint metric gets to see for one
+// evaluated feature subset on one data partition: the inputs column of the
+// paper's Table 1 taxonomy (target, predictions, sensitive attribute, the
+// trained model, and the feature fraction).
+type MetricInput struct {
+	// YTrue / YPred / Sensitive are aligned per instance.
+	YTrue, YPred, Sensitive []int
+	// Model is the trained classifier (for robustness-style metrics that
+	// need to query it).
+	Model model.Classifier
+	// FeatureFrac is the selected fraction of the original feature set.
+	FeatureFrac float64
+}
+
+// CustomConstraint is a user-defined minimum-threshold constraint over any
+// numeric metric in [0, 1]. The paper's framework claim (§3: "applicable to
+// any metric that produces a numeric score based on a dataset and an ML
+// model") is realized here: a custom metric participates in the Eq. 1
+// distance, the validation-then-test protocol, and NSGA-II's objective
+// vector exactly like the built-in constraints.
+type CustomConstraint struct {
+	// Name labels the constraint in diagnostics.
+	Name string
+	// Min is the threshold; the metric must reach at least Min.
+	Min float64
+	// Metric computes the score; it must be deterministic in its input.
+	Metric func(MetricInput) float64
+}
+
+// Validate checks the custom constraint definition.
+func (c CustomConstraint) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("core: custom constraint without name")
+	}
+	if c.Metric == nil {
+		return fmt.Errorf("core: custom constraint %q without metric", c.Name)
+	}
+	if c.Min < 0 || c.Min > 1 {
+		return fmt.Errorf("core: custom constraint %q threshold %v out of [0,1]", c.Name, c.Min)
+	}
+	return nil
+}
+
+// customDistance returns the summed squared violations of the custom
+// constraints for the given scores.
+func customDistance(customs []CustomConstraint, scores []float64) float64 {
+	d := 0.0
+	for i, c := range customs {
+		if scores[i] < c.Min {
+			diff := c.Min - scores[i]
+			d += diff * diff
+		}
+	}
+	return d
+}

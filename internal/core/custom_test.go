@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+func TestCustomConstraintValidate(t *testing.T) {
+	good := CustomConstraint{Name: "dp", Min: 0.8, Metric: func(MetricInput) float64 { return 1 }}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CustomConstraint{
+		{Min: 0.5, Metric: good.Metric},
+		{Name: "x", Min: 0.5},
+		{Name: "x", Min: -0.1, Metric: good.Metric},
+		{Name: "x", Min: 1.5, Metric: good.Metric},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad custom constraint %d accepted", i)
+		}
+	}
+}
+
+func TestCustomDistance(t *testing.T) {
+	customs := []CustomConstraint{
+		{Name: "a", Min: 0.8},
+		{Name: "b", Min: 0.5},
+	}
+	if d := customDistance(customs, []float64{0.9, 0.6}); d != 0 {
+		t.Fatalf("satisfied distance %v", d)
+	}
+	d := customDistance(customs, []float64{0.7, 0.6})
+	if d < 0.0099 || d > 0.0101 {
+		t.Fatalf("violated distance %v, want 0.01", d)
+	}
+}
+
+func TestCustomConstraintBlocksSatisfaction(t *testing.T) {
+	// A custom constraint that can never be met must prevent any solution,
+	// even though the built-in constraints are trivially satisfiable.
+	scn := mustScenario(t, easyConstraints(), model.KindLR, ModeSatisfy)
+	scn.Custom = []CustomConstraint{{
+		Name: "impossible", Min: 1,
+		Metric: func(MetricInput) float64 { return 0 },
+	}}
+	ev, err := NewEvaluator(scn, budget.NewSim(1e6), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, stop, err := ev.Evaluate([]bool{true, true, false, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop || ev.Solution() != nil {
+		t.Fatal("impossible custom constraint satisfied")
+	}
+	if v < 1 { // distance includes the full violation (1-0)² = 1
+		t.Fatalf("objective %v should include the custom violation", v)
+	}
+}
+
+func TestCustomConstraintPassesWhenMet(t *testing.T) {
+	scn := mustScenario(t, easyConstraints(), model.KindLR, ModeSatisfy)
+	calls := 0
+	scn.Custom = []CustomConstraint{{
+		Name: "always", Min: 0.5,
+		Metric: func(in MetricInput) float64 {
+			calls++
+			if len(in.YTrue) == 0 || len(in.YPred) != len(in.YTrue) {
+				t.Error("metric input misaligned")
+			}
+			if in.Model == nil {
+				t.Error("metric input missing model")
+			}
+			return 1
+		},
+	}}
+	ev, err := NewEvaluator(scn, budget.NewSim(1e6), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop, err := ev.Evaluate([]bool{true, true, false, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stop {
+		t.Fatal("satisfiable scenario with passing custom constraint failed")
+	}
+	if calls < 2 { // validation + test confirmation
+		t.Fatalf("metric called %d times, want validation and test", calls)
+	}
+}
+
+func TestCustomConstraintInNSGAObjectives(t *testing.T) {
+	scn := mustScenario(t, easyConstraints(), model.KindLR, ModeSatisfy)
+	scn.Custom = []CustomConstraint{{
+		Name: "half", Min: 0.9,
+		Metric: func(MetricInput) float64 { return 0.5 },
+	}}
+	ev, err := NewEvaluator(scn, budget.NewSim(1e6), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.NumObjectives(); got != 2 { // F1 + custom
+		t.Fatalf("objectives %d", got)
+	}
+	multi, _, err := ev.EvaluateMulti([]bool{true, true, false, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 2 {
+		t.Fatalf("multi %v", multi)
+	}
+	want := 0.4 * 0.4
+	if diff := multi[1] - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("custom objective %v, want %v", multi[1], want)
+	}
+}
+
+func TestScenarioValidatesCustoms(t *testing.T) {
+	scn := mustScenario(t, easyConstraints(), model.KindLR, ModeSatisfy)
+	scn.Custom = []CustomConstraint{{Name: "bad", Min: 0.5}}
+	if scn.Validate() == nil {
+		t.Fatal("metric-less custom constraint accepted")
+	}
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/declarative-fs/dfs/internal/attack"
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/metrics"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/privacy"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// pruneBase is the objective value of subsets pruned without evaluation
+// (evaluation-independent constraint violations, Table 1); large enough that
+// any trained subset scores better, with the cap distance added so searches
+// still feel a gradient toward smaller sets.
+const pruneBase = 1e6
+
+// visitCap bounds the total number of Evaluate calls (including free prunes
+// and cache hits) per evaluator. Pruned subsets cost no budget — exactly as
+// the paper's evaluation-independent optimization intends — so without this
+// guard an exhaustive enumeration under a tight feature cap could spin
+// through 2^N free subsets.
+const visitCap = 500000
+
+// Candidate is one evaluated feature subset.
+type Candidate struct {
+	// Mask is the feature selection.
+	Mask []bool
+	// Val holds the validation scores.
+	Val constraint.Scores
+	// Test holds the test scores; valid only when TestEvaluated.
+	Test          constraint.Scores
+	TestEvaluated bool
+	// Distance is the Eq. 1 distance on validation.
+	Distance float64
+	// Objective is the Eq. 2 objective on validation.
+	Objective float64
+	// SpentAt is the budget spent when this candidate was evaluated.
+	SpentAt float64
+}
+
+// Features lists the selected feature indices.
+func (c *Candidate) Features() []int {
+	var out []int
+	for j, b := range c.Mask {
+		if b {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+type cacheEntry struct {
+	value float64
+	multi []float64
+	stop  bool
+}
+
+// Evaluator is the wrapper-approach evaluation engine (§4.1): every subset
+// is scored by training the scenario's model (its DP variant when privacy is
+// declared), measuring the constrained metrics on validation data, and
+// confirming satisfying subsets on test data. It implements both
+// search.Objective and search.MultiObjective.
+type Evaluator struct {
+	scn   *Scenario
+	meter budget.Meter
+	rng   *xrand.RNG
+
+	cache    map[string]cacheEntry
+	evals    int
+	maxEvals int
+	visits   int
+
+	// noPruning disables the evaluation-independent feature-cap pruning;
+	// only the ablation benchmark sets it, to quantify what the Table 1
+	// optimization buys.
+	noPruning bool
+
+	best     *Candidate // lowest validation distance (then objective)
+	solution *Candidate // best test-confirmed satisfying subset
+}
+
+// NewEvaluator builds an evaluator for the scenario. maxEvals, when
+// positive, bounds the number of distinct trained subsets (a real-compute
+// guard for the benchmark harness); the simulated budget in
+// scn.Constraints.MaxSearchCost is always enforced through meter.
+func NewEvaluator(scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) (*Evaluator, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{
+		scn:      scn,
+		meter:    meter,
+		rng:      xrand.NewStream(seed, 0xe7a1),
+		cache:    make(map[string]cacheEntry),
+		maxEvals: maxEvals,
+	}, nil
+}
+
+// Scenario returns the evaluated scenario.
+func (ev *Evaluator) Scenario() *Scenario { return ev.scn }
+
+// Meter returns the budget meter.
+func (ev *Evaluator) Meter() budget.Meter { return ev.meter }
+
+// SetMeter swaps the budget meter; RunSequence installs a fresh stage
+// allowance per strategy while the evaluation cache (the warm start) and
+// best/solution records persist.
+func (ev *Evaluator) SetMeter(m budget.Meter) { ev.meter = m }
+
+// SetPruning toggles the evaluation-independent feature-cap pruning
+// (enabled by default); the pruning ablation disables it so cap-violating
+// subsets are trained and charged like any other.
+func (ev *Evaluator) SetPruning(enabled bool) { ev.noPruning = !enabled }
+
+// RNG returns a child RNG stream for strategy-level randomness.
+func (ev *Evaluator) RNG() *xrand.RNG { return ev.rng.Split() }
+
+// Evaluations returns the number of distinct trained subsets.
+func (ev *Evaluator) Evaluations() int { return ev.evals }
+
+// Best returns the candidate with the lowest validation distance seen so
+// far (nil before the first evaluation).
+func (ev *Evaluator) Best() *Candidate { return ev.best }
+
+// Solution returns the confirmed satisfying subset (nil if none).
+func (ev *Evaluator) Solution() *Candidate { return ev.solution }
+
+// NumFeatures implements search.Objective.
+func (ev *Evaluator) NumFeatures() int { return ev.scn.Split.Train.Features() }
+
+// NumObjectives implements search.MultiObjective: one objective per active
+// distance-contributing constraint (privacy and search time never
+// contribute), plus one per custom constraint.
+func (ev *Evaluator) NumObjectives() int {
+	n := 1 // Min F1 is mandatory
+	c := ev.scn.Constraints
+	if c.HasFeatureCap() {
+		n++
+	}
+	if c.HasEO() {
+		n++
+	}
+	if c.HasSafety() {
+		n++
+	}
+	return n + len(ev.scn.Custom)
+}
+
+func maskKey(mask []bool) string {
+	b := make([]byte, len(mask))
+	for i, v := range mask {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Evaluate implements search.Objective.
+func (ev *Evaluator) Evaluate(mask []bool) (float64, bool, error) {
+	v, _, stop, err := ev.evaluate(mask, false)
+	return v, stop, err
+}
+
+// EvaluateMulti implements search.MultiObjective.
+func (ev *Evaluator) EvaluateMulti(mask []bool) ([]float64, bool, error) {
+	_, multi, stop, err := ev.evaluate(mask, true)
+	return multi, stop, err
+}
+
+func (ev *Evaluator) evaluate(mask []bool, wantMulti bool) (float64, []float64, bool, error) {
+	if len(mask) != ev.NumFeatures() {
+		return 0, nil, false, fmt.Errorf("core: mask width %d != features %d", len(mask), ev.NumFeatures())
+	}
+	if ev.meter.Exhausted() {
+		return 0, nil, false, budget.ErrExhausted
+	}
+	ev.visits++
+	if ev.visits > visitCap {
+		return 0, nil, false, budget.ErrExhausted
+	}
+
+	// Evaluation-independent pruning (Table 1): an empty subset or a
+	// feature-cap violation is rejected without any training, any budget
+	// charge, or any cache entry (the check is cheaper than the lookup).
+	count := 0
+	for _, b := range mask {
+		if b {
+			count++
+		}
+	}
+	cs := ev.scn.Constraints
+	p := ev.NumFeatures()
+	frac := float64(count) / float64(p)
+	if count == 0 {
+		v := pruneBase * 2
+		return v, ev.pruneMulti(v), false, nil
+	}
+	if !ev.noPruning && cs.HasFeatureCap() && frac > cs.MaxFeatureFrac {
+		capDist := (frac - cs.MaxFeatureFrac) * (frac - cs.MaxFeatureFrac)
+		v := pruneBase + capDist
+		return v, ev.pruneMulti(v), false, nil
+	}
+
+	key := maskKey(mask)
+	if e, ok := ev.cache[key]; ok {
+		return e.value, e.multi, e.stop, nil
+	}
+	sel := selected(mask)
+
+	if ev.maxEvals > 0 && ev.evals >= ev.maxEvals {
+		return 0, nil, false, budget.ErrExhausted
+	}
+	ev.evals++
+
+	clf, valScores, valCustom, err := ev.trainAndScore(mask, sel)
+	if err != nil {
+		return 0, nil, false, err
+	}
+
+	dist := cs.Distance(valScores) + customDistance(ev.scn.Custom, valCustom)
+	utility := 0.0
+	if ev.scn.Mode == ModeMaximizeUtility {
+		utility = valScores.F1
+	}
+	obj := dist
+	if dist == 0 {
+		obj = -utility
+	}
+
+	cand := &Candidate{
+		Mask:      append([]bool(nil), mask...),
+		Val:       valScores,
+		Distance:  dist,
+		Objective: obj,
+		SpentAt:   ev.meter.Spent(),
+	}
+	if ev.best == nil || cand.Distance < ev.best.Distance ||
+		(cand.Distance == ev.best.Distance && cand.Objective < ev.best.Objective) {
+		ev.best = cand
+	}
+
+	stop := false
+	if dist == 0 {
+		// Constraints hold on validation: confirm on test (§2.2).
+		testScores, testCustom, err := ev.scoreOn(clf, ev.scn.Split.Test, mask, sel, true)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		cand.Test = testScores
+		cand.TestEvaluated = true
+		if cs.Satisfied(testScores) && customDistance(ev.scn.Custom, testCustom) == 0 {
+			// The solution timestamp includes the test confirmation.
+			cand.SpentAt = ev.meter.Spent()
+			switch ev.scn.Mode {
+			case ModeSatisfy:
+				ev.solution = cand
+				stop = true
+			case ModeMaximizeUtility:
+				if ev.solution == nil || testScores.F1 > ev.solution.Test.F1 {
+					ev.solution = cand
+				}
+			}
+		}
+	}
+
+	multi := ev.multiComponents(valScores, valCustom)
+	ev.cache[key] = cacheEntry{value: obj, multi: multi, stop: stop}
+	var budgetErr error
+	if ev.meter.Exhausted() {
+		budgetErr = budget.ErrExhausted
+	}
+	_ = wantMulti // the multi vector is cheap; both paths return it
+	return obj, multi, stop, budgetErr
+}
+
+// trainAndScore trains the scenario's model (grid) on the selected features
+// and returns the best-validation-F1 classifier with its validation scores
+// and the custom-constraint scores.
+func (ev *Evaluator) trainAndScore(mask []bool, sel []int) (model.Classifier, constraint.Scores, []float64, error) {
+	scn := ev.scn
+	train := scn.Split.Train.SelectFeatures(sel)
+	val := scn.Split.Val.SelectFeatures(sel)
+
+	nomRows := scn.Split.Train.NominalRows() * 3 / 5
+	effFeatures := float64(len(sel)) / float64(ev.NumFeatures()) * float64(scn.Split.Train.NominalFeatures())
+	kindFactor := scn.kindFactor()
+
+	var bestClf model.Classifier
+	bestF1 := -1.0
+	var bestPred []int
+	for _, spec := range scn.specs() {
+		if err := ev.charge(budget.TrainCost(nomRows, effFeatures, kindFactor)); err != nil {
+			return nil, constraint.Scores{}, nil, err
+		}
+		clf, err := ev.newClassifier(spec)
+		if err != nil {
+			return nil, constraint.Scores{}, nil, err
+		}
+		if err := clf.Fit(train); err != nil {
+			return nil, constraint.Scores{}, nil, err
+		}
+		if err := ev.charge(budget.EvalCost(nomRows/3, effFeatures)); err != nil {
+			return nil, constraint.Scores{}, nil, err
+		}
+		pred := model.PredictBatch(clf, val.X)
+		f1 := metrics.F1Score(val.Y, pred)
+		if f1 > bestF1 {
+			bestClf, bestF1, bestPred = clf, f1, pred
+		}
+	}
+
+	scores := constraint.Scores{
+		F1:          bestF1,
+		EO:          metrics.EqualOpportunity(val.Y, bestPred, val.Sensitive),
+		FeatureFrac: float64(len(sel)) / float64(ev.NumFeatures()),
+		Safety:      1,
+	}
+	if scn.Constraints.HasSafety() {
+		s, err := ev.measureSafety(bestClf, val, effFeatures)
+		if err != nil {
+			return nil, constraint.Scores{}, nil, err
+		}
+		scores.Safety = s
+	}
+	custom := ev.customScores(bestClf, val, bestPred, scores.FeatureFrac)
+	return bestClf, scores, custom, nil
+}
+
+// customScores evaluates every custom constraint metric.
+func (ev *Evaluator) customScores(clf model.Classifier, part *dataset.Dataset, pred []int, frac float64) []float64 {
+	if len(ev.scn.Custom) == 0 {
+		return nil
+	}
+	in := MetricInput{
+		YTrue:       part.Y,
+		YPred:       pred,
+		Sensitive:   part.Sensitive,
+		Model:       clf,
+		FeatureFrac: frac,
+	}
+	out := make([]float64, len(ev.scn.Custom))
+	for i, c := range ev.scn.Custom {
+		out[i] = c.Metric(in)
+	}
+	return out
+}
+
+// scoreOn measures the constrained metrics of a fitted classifier on a data
+// partition (used for the test confirmation), including custom constraints.
+func (ev *Evaluator) scoreOn(clf model.Classifier, part *dataset.Dataset, mask []bool, sel []int, charge bool) (constraint.Scores, []float64, error) {
+	sub := part.SelectFeatures(sel)
+	effFeatures := float64(len(sel)) / float64(ev.NumFeatures()) * float64(part.NominalFeatures())
+	if charge {
+		if err := ev.charge(budget.EvalCost(part.NominalRows()/5, effFeatures)); err != nil {
+			return constraint.Scores{}, nil, err
+		}
+	}
+	pred := model.PredictBatch(clf, sub.X)
+	scores := constraint.Scores{
+		F1:          metrics.F1Score(sub.Y, pred),
+		EO:          metrics.EqualOpportunity(sub.Y, pred, sub.Sensitive),
+		FeatureFrac: float64(len(sel)) / float64(ev.NumFeatures()),
+		Safety:      1,
+	}
+	if ev.scn.Constraints.HasSafety() {
+		s, err := ev.measureSafety(clf, sub, effFeatures)
+		if err != nil {
+			return constraint.Scores{}, nil, err
+		}
+		scores.Safety = s
+	}
+	return scores, ev.customScores(clf, sub, pred, scores.FeatureFrac), nil
+}
+
+// measureSafety runs the evasion attack on (a sample of) part and charges
+// its cost against the meter.
+func (ev *Evaluator) measureSafety(clf model.Classifier, part *dataset.Dataset, effFeatures float64) (float64, error) {
+	instances := ev.scn.AttackInstances
+	if instances <= 0 {
+		instances = 8
+	}
+	// A HopSkipJump run spends on the order of 100 queries per instance with
+	// the default config (init scan + bisections + gradient samples).
+	const queriesPerInstance = 100
+	if err := ev.charge(budget.AttackCost(instances, queriesPerInstance,
+		ev.scn.Split.Train.NominalRows()/5, effFeatures)); err != nil {
+		return 0, err
+	}
+	s, _ := attack.EmpiricalRobustness(clf, part, instances, attack.DefaultConfig(), ev.rng.Split())
+	return s, nil
+}
+
+// newClassifier instantiates the (possibly differentially private) model.
+func (ev *Evaluator) newClassifier(spec model.Spec) (model.Classifier, error) {
+	if ev.scn.Constraints.HasPrivacy() {
+		return privacy.New(spec, ev.scn.Constraints.PrivacyEps, ev.rng)
+	}
+	return model.New(spec)
+}
+
+// charge forwards to the meter, normalizing its exhaustion error.
+func (ev *Evaluator) charge(cost float64) error {
+	if err := ev.meter.Charge(cost); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ChargeRanking charges the budget for computing a ranking of the given
+// family on the scenario's nominal dimensions. Strategies call it once
+// before computing their ranking.
+func (ev *Evaluator) ChargeRanking(family budget.RankingFamily) error {
+	return ev.charge(budget.RankingCost(family,
+		ev.scn.Split.Train.NominalRows(), ev.scn.Split.Train.NominalFeatures()))
+}
+
+// ChargeTraining charges one model-training's cost over the selected
+// feature count; RFE uses it for its per-round ranking model.
+func (ev *Evaluator) ChargeTraining(selectedCount int) error {
+	effFeatures := float64(selectedCount) / float64(ev.NumFeatures()) *
+		float64(ev.scn.Split.Train.NominalFeatures())
+	return ev.charge(budget.TrainCost(ev.scn.Split.Train.NominalRows()*3/5, effFeatures, ev.scn.kindFactor()))
+}
+
+// ChargePermutationOverhead charges the extra evaluations permutation
+// importance needs (the NB-under-RFE overhead the paper calls out in §6.3).
+func (ev *Evaluator) ChargePermutationOverhead(selectedCount, repeats int) error {
+	effFeatures := float64(selectedCount) / float64(ev.NumFeatures()) *
+		float64(ev.scn.Split.Train.NominalFeatures())
+	nomRows := ev.scn.Split.Train.NominalRows() * 3 / 5
+	return ev.charge(float64(selectedCount*repeats) * budget.EvalCost(nomRows, effFeatures))
+}
+
+// EvaluateOnTest measures a candidate's scores on the test split without
+// charging the budget — post-hoc reporting for the failure analysis
+// (Table 4). The model is retrained on the candidate's subset.
+func (ev *Evaluator) EvaluateOnTest(c *Candidate) (constraint.Scores, error) {
+	if c == nil {
+		return constraint.Scores{}, fmt.Errorf("core: nil candidate")
+	}
+	if c.TestEvaluated {
+		return c.Test, nil
+	}
+	sel := selected(c.Mask)
+	if len(sel) == 0 {
+		return constraint.Scores{}, fmt.Errorf("core: empty candidate")
+	}
+	train := ev.scn.Split.Train.SelectFeatures(sel)
+	var bestClf model.Classifier
+	bestF1 := math.Inf(-1)
+	val := ev.scn.Split.Val.SelectFeatures(sel)
+	for _, spec := range ev.scn.specs() {
+		clf, err := ev.newClassifier(spec)
+		if err != nil {
+			return constraint.Scores{}, err
+		}
+		if err := clf.Fit(train); err != nil {
+			return constraint.Scores{}, err
+		}
+		f1 := metrics.F1Score(val.Y, model.PredictBatch(clf, val.X))
+		if f1 > bestF1 {
+			bestClf, bestF1 = clf, f1
+		}
+	}
+	scores, _, err := ev.scoreOn(bestClf, ev.scn.Split.Test, c.Mask, sel, false)
+	if err != nil {
+		return constraint.Scores{}, err
+	}
+	c.Test = scores
+	c.TestEvaluated = true
+	return scores, nil
+}
+
+// multiComponents decomposes the Eq. 1 distance into per-constraint
+// objectives for NSGA-II, including custom constraints.
+func (ev *Evaluator) multiComponents(sc constraint.Scores, custom []float64) []float64 {
+	cs := ev.scn.Constraints
+	out := make([]float64, 0, ev.NumObjectives())
+	f1d := 0.0
+	if sc.F1 < cs.MinF1 {
+		f1d = (cs.MinF1 - sc.F1) * (cs.MinF1 - sc.F1)
+	}
+	out = append(out, f1d)
+	if cs.HasFeatureCap() {
+		d := 0.0
+		if sc.FeatureFrac > cs.MaxFeatureFrac {
+			d = (sc.FeatureFrac - cs.MaxFeatureFrac) * (sc.FeatureFrac - cs.MaxFeatureFrac)
+		}
+		out = append(out, d)
+	}
+	if cs.HasEO() {
+		d := 0.0
+		if sc.EO < cs.MinEO {
+			d = (cs.MinEO - sc.EO) * (cs.MinEO - sc.EO)
+		}
+		out = append(out, d)
+	}
+	if cs.HasSafety() {
+		d := 0.0
+		if sc.Safety < cs.MinSafety {
+			d = (cs.MinSafety - sc.Safety) * (cs.MinSafety - sc.Safety)
+		}
+		out = append(out, d)
+	}
+	for i, c := range ev.scn.Custom {
+		d := 0.0
+		if i < len(custom) && custom[i] < c.Min {
+			diff := c.Min - custom[i]
+			d = diff * diff
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// pruneMulti returns a uniformly terrible multi-objective vector for pruned
+// masks.
+func (ev *Evaluator) pruneMulti(v float64) []float64 {
+	out := make([]float64, ev.NumObjectives())
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func selected(mask []bool) []int {
+	var out []int
+	for j, b := range mask {
+		if b {
+			out = append(out, j)
+		}
+	}
+	return out
+}

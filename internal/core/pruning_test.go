@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// cappedScenario declares a feature cap of 2 of the 6 features and an
+// unreachable F1 so searches run to exhaustion.
+func cappedScenario(t *testing.T) *Scenario {
+	t.Helper()
+	cs := constraint.Set{MinF1: 0.999, MaxSearchCost: 1e6, MaxFeatureFrac: 0.34}
+	return mustScenario(t, cs, model.KindLR, ModeSatisfy)
+}
+
+// TestForwardSelectionBenefitsFromCapPruning: SFS must train only subsets
+// within the cap — 6 singletons plus 5 pairs — and then drift through the
+// pruned plateau for free.
+func TestForwardSelectionBenefitsFromCapPruning(t *testing.T) {
+	scn := cappedScenario(t)
+	ev, err := NewEvaluator(scn, budget.NewSim(1e6), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New("SFS(NR)")
+	if err := s.Run(ev, xrand.New(1)); err != nil && !errors.Is(err, budget.ErrExhausted) {
+		t.Fatal(err)
+	}
+	if got := ev.Evaluations(); got != 11 {
+		t.Fatalf("SFS trained %d subsets, want 11 (6 singletons + 5 pairs)", got)
+	}
+}
+
+// TestBackwardSelectionDoesNotBenefitFromCapPruning: SBS trains the full
+// set and every elimination candidate above the cap — the paper's §6.3
+// observation — so it trains far more than the 11 within-cap subsets.
+func TestBackwardSelectionDoesNotBenefitFromCapPruning(t *testing.T) {
+	scn := cappedScenario(t)
+	ev, err := NewEvaluator(scn, budget.NewSim(1e6), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New("SBS(NR)")
+	if err := s.Run(ev, xrand.New(1)); err != nil && !errors.Is(err, budget.ErrExhausted) {
+		t.Fatal(err)
+	}
+	// Full set (1) + rounds of candidates at sizes 5, 4, 3, 2, 1.
+	if got := ev.Evaluations(); got <= 11 {
+		t.Fatalf("SBS trained only %d subsets; it must evaluate above-cap subsets too", got)
+	}
+	// And those above-cap evaluations cost budget.
+	if ev.Meter().Spent() <= 0 {
+		t.Fatal("SBS spent nothing despite training large subsets")
+	}
+}
+
+// TestCapViolatingSubsetNeverASolution: without pruning, SBS evaluates
+// above-cap subsets; even if they score perfectly they must not satisfy.
+func TestCapViolatingSubsetNeverASolution(t *testing.T) {
+	cs := constraint.Set{MinF1: 0.01, MaxSearchCost: 1e6, MaxFeatureFrac: 0.34}
+	scn := mustScenario(t, cs, model.KindLR, ModeSatisfy)
+	ev, err := NewEvaluator(scn, budget.NewSim(1e6), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.SetPruning(false)
+	full := []bool{true, true, true, true, true, true}
+	_, stop, err := ev.Evaluate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop || ev.Solution() != nil {
+		t.Fatal("cap-violating subset accepted as solution")
+	}
+	if ev.Evaluations() != 1 {
+		t.Fatal("unpruned evaluator should have trained the subset")
+	}
+	if best := ev.Best(); best == nil || best.Distance <= 0 {
+		t.Fatal("cap violation must appear in the Eq.1 distance")
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/ranking"
+	"github.com/declarative-fs/dfs/internal/search"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// Strategy is one feature-selection strategy adapted to DFS.
+type Strategy interface {
+	// Name returns the paper's strategy name, e.g. "SFFS(NR)".
+	Name() string
+	// Run drives the search against the evaluator until it finds a
+	// satisfying subset, exhausts the budget, or exhausts its schedule.
+	Run(ev *Evaluator, rng *xrand.RNG) error
+}
+
+// StrategyNames lists the 16 strategies in the paper's Table 3 order.
+var StrategyNames = []string{
+	"SBS(NR)", "SBFS(NR)", "RFE(Model)", "TPE(MCFS)", "TPE(ReliefF)",
+	"TPE(Variance)", "TPE(NR)", "NSGA-II(NR)", "TPE(MIM)", "SA(NR)",
+	"ES(NR)", "TPE(Fisher)", "TPE(Chi2)", "SFS(NR)", "SFFS(NR)", "TPE(FCBF)",
+}
+
+// OriginalFeaturesName is the no-selection baseline row of Table 3.
+const OriginalFeaturesName = "Original Features"
+
+// New returns the named strategy; names follow the paper (χ² is spelled
+// "TPE(Chi2)").
+func New(name string) (Strategy, error) {
+	switch name {
+	case OriginalFeaturesName:
+		return originalFeatures{}, nil
+	case "ES(NR)":
+		return simple{name, func(ev *Evaluator, _ *xrand.RNG) error {
+			return search.Exhaustive(ev)
+		}}, nil
+	case "SFS(NR)":
+		return simple{name, func(ev *Evaluator, _ *xrand.RNG) error {
+			return search.SequentialForward(ev, false)
+		}}, nil
+	case "SFFS(NR)":
+		return simple{name, func(ev *Evaluator, _ *xrand.RNG) error {
+			return search.SequentialForward(ev, true)
+		}}, nil
+	case "SBS(NR)":
+		return simple{name, func(ev *Evaluator, _ *xrand.RNG) error {
+			// Backward selection trains its way down from the full set; it
+			// cannot skip cap-violating subsets because it needs their
+			// wrapper score to decide what to remove — the paper notes
+			// backward strategies "do not benefit from the optimizations
+			// based on the maximum feature set size" (§6.3).
+			ev.SetPruning(false)
+			defer ev.SetPruning(true)
+			return search.SequentialBackward(ev, false)
+		}}, nil
+	case "SBFS(NR)":
+		return simple{name, func(ev *Evaluator, _ *xrand.RNG) error {
+			ev.SetPruning(false) // see SBS(NR)
+			defer ev.SetPruning(true)
+			return search.SequentialBackward(ev, true)
+		}}, nil
+	case "RFE(Model)":
+		return rfeStrategy{}, nil
+	case "TPE(NR)":
+		return simple{name, func(ev *Evaluator, rng *xrand.RNG) error {
+			return search.TPEBinary(ev, search.TPEConfig{}, rng)
+		}}, nil
+	case "SA(NR)":
+		return simple{name, func(ev *Evaluator, rng *xrand.RNG) error {
+			return search.SimulatedAnnealing(ev, search.SAConfig{}, rng)
+		}}, nil
+	case "NSGA-II(NR)":
+		return simple{name, func(ev *Evaluator, rng *xrand.RNG) error {
+			return search.NSGA2(ev, search.NSGA2Config{}, rng)
+		}}, nil
+	case "TPE(Variance)":
+		return topK{name, ranking.Variance{}}, nil
+	case "TPE(Chi2)":
+		return topK{name, ranking.Chi2{}}, nil
+	case "TPE(Fisher)":
+		return topK{name, ranking.Fisher{}}, nil
+	case "TPE(MIM)":
+		return topK{name, ranking.MIM{}}, nil
+	case "TPE(FCBF)":
+		return topK{name, ranking.FCBF{}}, nil
+	case "TPE(ReliefF)":
+		return topK{name, ranking.ReliefF{}}, nil
+	case "TPE(MCFS)":
+		return topK{name, ranking.MCFS{}}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", name)
+	}
+}
+
+// All returns the 16 strategies of the benchmark.
+func All() []Strategy {
+	out := make([]Strategy, 0, len(StrategyNames))
+	for _, n := range StrategyNames {
+		s, err := New(n)
+		if err != nil {
+			panic(err) // static list; cannot fail
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// simple adapts a search driver to the Strategy interface.
+type simple struct {
+	name string
+	run  func(ev *Evaluator, rng *xrand.RNG) error
+}
+
+func (s simple) Name() string { return s.name }
+
+func (s simple) Run(ev *Evaluator, rng *xrand.RNG) error { return s.run(ev, rng) }
+
+// originalFeatures is the no-selection baseline: it evaluates the complete
+// feature set once.
+type originalFeatures struct{}
+
+func (originalFeatures) Name() string { return OriginalFeaturesName }
+
+func (originalFeatures) Run(ev *Evaluator, _ *xrand.RNG) error {
+	mask := make([]bool, ev.NumFeatures())
+	for j := range mask {
+		mask[j] = true
+	}
+	_, _, err := ev.Evaluate(mask)
+	if errors.Is(err, budget.ErrExhausted) {
+		return nil
+	}
+	return err
+}
+
+// topK is a ranking-based strategy: compute the ranking once (charging its
+// nominal cost), then let TPE optimize the cut point k (§4.2).
+type topK struct {
+	name   string
+	ranker ranking.Ranker
+}
+
+func (s topK) Name() string { return s.name }
+
+func (s topK) Run(ev *Evaluator, rng *xrand.RNG) error {
+	if err := ev.ChargeRanking(s.ranker.Family()); err != nil {
+		if errors.Is(err, budget.ErrExhausted) {
+			return nil // ranking alone exceeded the budget (Figure 4 regime)
+		}
+		return err
+	}
+	scores, err := s.ranker.Rank(ev.Scenario().Split.Train, rng.Split())
+	if err != nil {
+		return err
+	}
+	order := argsortDesc(scores)
+	return search.TPETopK(ev, order, search.TPEConfig{}, rng)
+}
+
+func argsortDesc(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort keeps it dependency-free and stable (small p).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && scores[idx[j]] > scores[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// rfeStrategy is recursive feature elimination guided by the scenario
+// model's importance scores, with the permutation fallback (and its runtime
+// overhead) for NB.
+type rfeStrategy struct{}
+
+func (rfeStrategy) Name() string { return "RFE(Model)" }
+
+func (rfeStrategy) Run(ev *Evaluator, rng *xrand.RNG) error {
+	// Like the other backward eliminations, RFE must evaluate large subsets
+	// on its way down and cannot benefit from feature-cap pruning (§6.3).
+	ev.SetPruning(false)
+	defer ev.SetPruning(true)
+	scn := ev.Scenario()
+	imp := &ranking.ModelImportance{Spec: model.Spec{Kind: scn.ModelKind}}
+	full := ev.NumFeatures()
+	rank := func(mask []bool) ([]float64, error) {
+		sel := selected(mask)
+		if err := ev.ChargeTraining(len(sel)); err != nil {
+			return nil, err
+		}
+		sub := scn.Split.Train.SelectFeatures(sel)
+		scores, err := imp.Rank(sub, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		if imp.UsedPermutation {
+			if err := ev.ChargePermutationOverhead(len(sel), 3); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]float64, full)
+		for k, j := range sel {
+			out[j] = scores[k]
+		}
+		return out, nil
+	}
+	return search.RFE(ev, rank)
+}
+
+// RunResult summarizes one strategy run on one scenario.
+type RunResult struct {
+	// Strategy is the strategy name.
+	Strategy string
+	// Satisfied reports whether a test-confirmed satisfying subset exists.
+	Satisfied bool
+	// Features lists the solution's selected feature indices (nil if none).
+	Features []int
+	// ValScores / TestScores are the solution's scores (zero if none).
+	ValScores, TestScores constraint.Scores
+	// CostAtSolution is the budget spent when the solution was found; for
+	// the paper's Fastest metric.
+	CostAtSolution float64
+	// TotalCost is the budget spent by the whole run.
+	TotalCost float64
+	// Evaluations counts distinct trained subsets.
+	Evaluations int
+	// BestValDistance / BestTestDistance are the closest-candidate
+	// distances for the failure analysis (Table 4); zero when satisfied.
+	BestValDistance, BestTestDistance float64
+}
+
+// RunStrategy executes one strategy on one scenario with a fresh simulated
+// budget meter. maxEvals, when positive, bounds real compute (see
+// NewEvaluator).
+func RunStrategy(s Strategy, scn *Scenario, seed uint64, maxEvals int) (RunResult, error) {
+	return RunStrategyWithMeter(s, scn, budget.NewSim(scn.Constraints.MaxSearchCost), seed, maxEvals)
+}
+
+// RunStrategyWithMeter executes one strategy against a caller-provided
+// budget meter — e.g. a wall-clock meter for real deployments where the
+// search time constraint is literal seconds rather than simulated cost
+// units.
+func RunStrategyWithMeter(s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) (RunResult, error) {
+	ev, err := NewEvaluator(scn, meter, seed, maxEvals)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := s.Run(ev, xrand.NewStream(seed, 0x57a7)); err != nil &&
+		!errors.Is(err, budget.ErrExhausted) {
+		return RunResult{}, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
+	}
+	res := RunResult{
+		Strategy:    s.Name(),
+		TotalCost:   meter.Spent(),
+		Evaluations: ev.Evaluations(),
+	}
+	if sol := ev.Solution(); sol != nil {
+		res.Satisfied = true
+		res.Features = sol.Features()
+		res.ValScores = sol.Val
+		res.TestScores = sol.Test
+		res.CostAtSolution = sol.SpentAt
+		return res, nil
+	}
+	if best := ev.Best(); best != nil {
+		res.BestValDistance = best.Distance
+		testScores, err := ev.EvaluateOnTest(best)
+		if err == nil {
+			res.BestTestDistance = scn.Constraints.Distance(testScores)
+		}
+		res.ValScores = best.Val
+		res.TestScores = best.Test
+	} else {
+		// Nothing was ever evaluated (e.g. the ranking alone blew the
+		// budget): report the maximal distance of the original feature set
+		// convention — distance to every active threshold from zero scores.
+		res.BestValDistance = scn.Constraints.Distance(constraint.Scores{FeatureFrac: 0})
+		res.BestTestDistance = res.BestValDistance
+	}
+	return res, nil
+}

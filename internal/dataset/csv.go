@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The CSV layout is self-describing: each feature header is "name:num" or
+// "name:cat:<cardinality>", the target column is "__target__", and the
+// sensitive column is "__sensitive__". Missing values are empty cells.
+
+const (
+	targetHeader    = "__target__"
+	sensitiveHeader = "__sensitive__"
+)
+
+// WriteCSV serializes a table.
+func WriteCSV(w io.Writer, t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Columns)+2)
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		if c.Kind == Numeric {
+			header = append(header, c.Name+":num")
+		} else {
+			header = append(header, fmt.Sprintf("%s:cat:%d", c.Name, c.Cardinality))
+		}
+	}
+	header = append(header, targetHeader, sensitiveHeader)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < t.Rows(); i++ {
+		for j := range t.Columns {
+			c := &t.Columns[j]
+			switch {
+			case c.Kind == Numeric && math.IsNaN(c.Num[i]):
+				rec[j] = ""
+			case c.Kind == Numeric:
+				rec[j] = strconv.FormatFloat(c.Num[i], 'g', -1, 64)
+			case c.Cat[i] == MissingCat:
+				rec[j] = ""
+			default:
+				rec[j] = strconv.Itoa(c.Cat[i])
+			}
+		}
+		rec[len(rec)-2] = strconv.Itoa(t.Target[i])
+		rec[len(rec)-1] = strconv.Itoa(t.Sensitive[i])
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("dataset: CSV needs at least one feature plus target and sensitive columns")
+	}
+	if header[len(header)-2] != targetHeader || header[len(header)-1] != sensitiveHeader {
+		return nil, fmt.Errorf("dataset: CSV must end with %s,%s columns", targetHeader, sensitiveHeader)
+	}
+	t := &Table{Name: name, SensitiveName: sensitiveHeader}
+	nf := len(header) - 2
+	for _, h := range header[:nf] {
+		parts := strings.Split(h, ":")
+		switch {
+		case len(parts) == 2 && parts[1] == "num":
+			t.Columns = append(t.Columns, Column{Name: parts[0], Kind: Numeric})
+		case len(parts) == 3 && parts[1] == "cat":
+			card, err := strconv.Atoi(parts[2])
+			if err != nil || card < 1 {
+				return nil, fmt.Errorf("dataset: bad cardinality in header %q", h)
+			}
+			t.Columns = append(t.Columns, Column{Name: parts[0], Kind: Categorical, Cardinality: card})
+		default:
+			return nil, fmt.Errorf("dataset: bad column header %q", h)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		for j := 0; j < nf; j++ {
+			c := &t.Columns[j]
+			cell := rec[j]
+			if c.Kind == Numeric {
+				if cell == "" {
+					c.Num = append(c.Num, math.NaN())
+				} else {
+					v, err := strconv.ParseFloat(cell, 64)
+					if err != nil {
+						return nil, fmt.Errorf("dataset: bad numeric cell %q in column %q: %w", cell, c.Name, err)
+					}
+					c.Num = append(c.Num, v)
+				}
+			} else {
+				if cell == "" {
+					c.Cat = append(c.Cat, MissingCat)
+				} else {
+					v, err := strconv.Atoi(cell)
+					if err != nil {
+						return nil, fmt.Errorf("dataset: bad categorical cell %q in column %q: %w", cell, c.Name, err)
+					}
+					c.Cat = append(c.Cat, v)
+				}
+			}
+		}
+		y, err := strconv.Atoi(rec[nf])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad target cell %q: %w", rec[nf], err)
+		}
+		s, err := strconv.Atoi(rec[nf+1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad sensitive cell %q: %w", rec[nf+1], err)
+		}
+		t.Target = append(t.Target, y)
+		t.Sensitive = append(t.Sensitive, s)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

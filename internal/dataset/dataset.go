@@ -1,0 +1,357 @@
+// Package dataset defines the data model of the DFS system and the standard
+// preprocessing pipeline of the paper (§6.1): one-hot encoding for
+// categorical attributes, mean imputation and min-max scaling for numeric
+// attributes, and stratified 3:1:1 train/validation/test splitting.
+//
+// Two representations exist. A Table is the raw view a user loads or a
+// generator emits: typed columns (numeric or categorical), missing values,
+// a binary classification target, and a designated binary sensitive
+// attribute. A Dataset is the model-ready view produced by Preprocess: a
+// dense feature matrix in [0, 1], the target, and the sensitive group of
+// every instance, retained separately so fairness metrics work regardless of
+// which feature columns a strategy selects.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/declarative-fs/dfs/internal/linalg"
+)
+
+// ColumnKind distinguishes how a raw column is preprocessed.
+type ColumnKind int
+
+const (
+	// Numeric columns are mean-imputed and min-max scaled to [0, 1].
+	Numeric ColumnKind = iota
+	// Categorical columns are one-hot encoded; missing codes get an all-zero
+	// encoding.
+	Categorical
+)
+
+// MissingCat is the category code marking a missing categorical value.
+const MissingCat = -1
+
+// Column is one attribute of a raw table. Numeric columns use Num with NaN
+// for missing entries; categorical columns use Cat with codes in
+// [0, Cardinality) and MissingCat for missing entries.
+type Column struct {
+	Name string
+	Kind ColumnKind
+
+	Num []float64 // numeric values, NaN = missing
+	Cat []int     // categorical codes, MissingCat = missing
+
+	// Cardinality is the number of distinct categories of a categorical
+	// column. It is fixed by the producer so one-hot layouts agree across
+	// splits even when a split lacks some category.
+	Cardinality int
+}
+
+// Len returns the number of instances in the column.
+func (c *Column) Len() int {
+	if c.Kind == Numeric {
+		return len(c.Num)
+	}
+	return len(c.Cat)
+}
+
+// NominalDims records the paper-scale dimensions of a dataset. The simulated
+// cost meter charges training and ranking costs against these nominal
+// dimensions so that the scalability effects of the paper's Table 2 datasets
+// survive even though the materialized data is capped (see DESIGN.md §4).
+type NominalDims struct {
+	Rows     int
+	Features int
+}
+
+// Table is a raw dataset: typed columns, a binary target, and a binary
+// sensitive attribute used by the equal-opportunity metric.
+type Table struct {
+	Name    string
+	Columns []Column
+	Target  []int // binary labels in {0, 1}
+
+	// Sensitive holds the binary protected group of each instance
+	// (1 = member of the minority group). It may also appear as a regular
+	// column; metrics always read this dedicated copy.
+	Sensitive     []int
+	SensitiveName string
+
+	// Nominal carries the paper-scale dimensions; zero means "use actual".
+	Nominal NominalDims
+}
+
+// Validate checks structural invariants of the table.
+func (t *Table) Validate() error {
+	n := len(t.Target)
+	if n == 0 {
+		return fmt.Errorf("dataset %q: empty target", t.Name)
+	}
+	if len(t.Sensitive) != n {
+		return fmt.Errorf("dataset %q: sensitive length %d != %d", t.Name, len(t.Sensitive), n)
+	}
+	for i, y := range t.Target {
+		if y != 0 && y != 1 {
+			return fmt.Errorf("dataset %q: target[%d] = %d not binary", t.Name, i, y)
+		}
+	}
+	for i, s := range t.Sensitive {
+		if s != 0 && s != 1 {
+			return fmt.Errorf("dataset %q: sensitive[%d] = %d not binary", t.Name, i, s)
+		}
+	}
+	for ci := range t.Columns {
+		c := &t.Columns[ci]
+		if c.Len() != n {
+			return fmt.Errorf("dataset %q: column %q length %d != %d", t.Name, c.Name, c.Len(), n)
+		}
+		if c.Kind == Categorical {
+			if c.Cardinality < 1 {
+				return fmt.Errorf("dataset %q: column %q cardinality %d", t.Name, c.Name, c.Cardinality)
+			}
+			for i, v := range c.Cat {
+				if v != MissingCat && (v < 0 || v >= c.Cardinality) {
+					return fmt.Errorf("dataset %q: column %q code %d at row %d out of range", t.Name, c.Name, v, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Rows returns the number of instances.
+func (t *Table) Rows() int { return len(t.Target) }
+
+// FeatureCount returns the number of model-ready features the table expands
+// to after one-hot encoding.
+func (t *Table) FeatureCount() int {
+	n := 0
+	for i := range t.Columns {
+		if t.Columns[i].Kind == Categorical {
+			n += t.Columns[i].Cardinality
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// Dataset is the model-ready view: features scaled to [0, 1], binary target,
+// and per-instance sensitive group.
+type Dataset struct {
+	Name         string
+	X            *linalg.Matrix
+	Y            []int
+	Sensitive    []int
+	FeatureNames []string
+
+	// Nominal carries the paper-scale dimensions for cost accounting. For
+	// generated data these are the Table 2 values; for user data they equal
+	// the actual dimensions.
+	Nominal NominalDims
+}
+
+// Rows returns the number of instances.
+func (d *Dataset) Rows() int { return d.X.Rows }
+
+// Features returns the number of features.
+func (d *Dataset) Features() int { return d.X.Cols }
+
+// Validate checks the invariants a model-ready dataset must hold. Datasets
+// produced by Preprocess always pass; hand-constructed ones are checked at
+// scenario construction.
+func (d *Dataset) Validate() error {
+	if d.X == nil {
+		return fmt.Errorf("dataset %q: nil feature matrix", d.Name)
+	}
+	n := d.X.Rows
+	if len(d.Y) != n {
+		return fmt.Errorf("dataset %q: target length %d != rows %d", d.Name, len(d.Y), n)
+	}
+	if len(d.Sensitive) != n {
+		return fmt.Errorf("dataset %q: sensitive length %d != rows %d", d.Name, len(d.Sensitive), n)
+	}
+	if d.FeatureNames != nil && len(d.FeatureNames) != d.X.Cols {
+		return fmt.Errorf("dataset %q: %d feature names for %d features",
+			d.Name, len(d.FeatureNames), d.X.Cols)
+	}
+	for i := 0; i < n; i++ {
+		if y := d.Y[i]; y != 0 && y != 1 {
+			return fmt.Errorf("dataset %q: target[%d] = %d not binary", d.Name, i, y)
+		}
+		if s := d.Sensitive[i]; s != 0 && s != 1 {
+			return fmt.Errorf("dataset %q: sensitive[%d] = %d not binary", d.Name, i, s)
+		}
+	}
+	for i, v := range d.X.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset %q: non-finite feature value at flat index %d", d.Name, i)
+		}
+	}
+	return nil
+}
+
+// NominalRows returns the nominal row count, falling back to the actual one.
+func (d *Dataset) NominalRows() int {
+	if d.Nominal.Rows > 0 {
+		return d.Nominal.Rows
+	}
+	return d.Rows()
+}
+
+// NominalFeatures returns the nominal feature count, falling back to the
+// actual one.
+func (d *Dataset) NominalFeatures() int {
+	if d.Nominal.Features > 0 {
+		return d.Nominal.Features
+	}
+	return d.Features()
+}
+
+// Subset returns a dataset restricted to the given rows (copying data).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	y := make([]int, len(rows))
+	s := make([]int, len(rows))
+	for k, i := range rows {
+		y[k] = d.Y[i]
+		s[k] = d.Sensitive[i]
+	}
+	return &Dataset{
+		Name:         d.Name,
+		X:            d.X.SelectRows(rows),
+		Y:            y,
+		Sensitive:    s,
+		FeatureNames: d.FeatureNames,
+		Nominal:      d.Nominal,
+	}
+}
+
+// SelectFeatures returns a dataset view with only the given feature columns.
+// The sensitive attribute and target are preserved unchanged.
+func (d *Dataset) SelectFeatures(cols []int) *Dataset {
+	var names []string
+	if d.FeatureNames != nil {
+		names = make([]string, len(cols))
+		for k, j := range cols {
+			names[k] = d.FeatureNames[j]
+		}
+	}
+	return &Dataset{
+		Name:         d.Name,
+		X:            d.X.SelectCols(cols),
+		Y:            d.Y,
+		Sensitive:    d.Sensitive,
+		FeatureNames: names,
+		Nominal:      d.Nominal,
+	}
+}
+
+// ClassCounts returns the number of instances with label 0 and 1.
+func (d *Dataset) ClassCounts() (zero, one int) {
+	for _, y := range d.Y {
+		if y == 1 {
+			one++
+		} else {
+			zero++
+		}
+	}
+	return zero, one
+}
+
+// Preprocess converts a raw table into a model-ready dataset applying the
+// paper's standard pipeline: mean imputation and min-max scaling for numeric
+// columns, one-hot encoding for categorical columns.
+func Preprocess(t *Table) (*Dataset, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.Rows()
+	d := &Dataset{
+		Name:      t.Name,
+		Y:         append([]int(nil), t.Target...),
+		Sensitive: append([]int(nil), t.Sensitive...),
+		Nominal:   t.Nominal,
+	}
+	cols := make([][]float64, 0, t.FeatureCount())
+	for ci := range t.Columns {
+		c := &t.Columns[ci]
+		switch c.Kind {
+		case Numeric:
+			vals := imputeMean(c.Num)
+			minMaxScale(vals)
+			cols = append(cols, vals)
+			d.FeatureNames = append(d.FeatureNames, c.Name)
+		case Categorical:
+			for cat := 0; cat < c.Cardinality; cat++ {
+				oh := make([]float64, n)
+				for i, v := range c.Cat {
+					if v == cat {
+						oh[i] = 1
+					}
+				}
+				cols = append(cols, oh)
+				d.FeatureNames = append(d.FeatureNames, fmt.Sprintf("%s=%d", c.Name, cat))
+			}
+		}
+	}
+	d.X = linalg.NewMatrix(n, len(cols))
+	for j, col := range cols {
+		for i, v := range col {
+			d.X.Set(i, j, v)
+		}
+	}
+	return d, nil
+}
+
+// imputeMean replaces NaN entries with the mean of the observed entries
+// (or 0 when all entries are missing) and returns a new slice.
+func imputeMean(vals []float64) []float64 {
+	sum, cnt := 0.0, 0
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			sum += v
+			cnt++
+		}
+	}
+	mean := 0.0
+	if cnt > 0 {
+		mean = sum / float64(cnt)
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			out[i] = mean
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// minMaxScale scales vals to [0, 1] in place; constant columns become 0.
+func minMaxScale(vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		for i := range vals {
+			vals[i] = 0
+		}
+		return
+	}
+	for i := range vals {
+		vals[i] = (vals[i] - lo) / span
+	}
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/declarative-fs/dfs/internal/linalg"
+)
+
+// Stats summarizes a model-ready dataset: the numbers a practitioner checks
+// before declaring constraints (is the task imbalanced enough to need F1?
+// how large is the group base-rate gap that fairness constraints will fight
+// against?).
+type Stats struct {
+	Name     string
+	Rows     int
+	Features int
+	// NominalRows/NominalFeatures are the cost-model dimensions.
+	NominalRows, NominalFeatures int
+	// PositiveRate is the fraction of label-1 instances.
+	PositiveRate float64
+	// MinorityFraction is the fraction of sensitive-group-1 instances.
+	MinorityFraction float64
+	// GroupPositiveRate holds P(y=1 | group) for majority (0) and
+	// minority (1); their gap drives equal-opportunity hardness.
+	GroupPositiveRate [2]float64
+	// BaseRateGap is |GroupPositiveRate[1] − GroupPositiveRate[0]|.
+	BaseRateGap float64
+	// ConstantFeatures counts zero-variance columns.
+	ConstantFeatures int
+	// MeanFeatureVariance is the average per-feature variance.
+	MeanFeatureVariance float64
+}
+
+// Describe computes dataset statistics.
+func Describe(d *Dataset) Stats {
+	s := Stats{
+		Name:            d.Name,
+		Rows:            d.Rows(),
+		Features:        d.Features(),
+		NominalRows:     d.NominalRows(),
+		NominalFeatures: d.NominalFeatures(),
+	}
+	if s.Rows == 0 {
+		return s
+	}
+	var pos, minority int
+	var groupPos, groupN [2]int
+	for i, y := range d.Y {
+		g := d.Sensitive[i]
+		groupN[g]++
+		if y == 1 {
+			pos++
+			groupPos[g]++
+		}
+		if g == 1 {
+			minority++
+		}
+	}
+	n := float64(s.Rows)
+	s.PositiveRate = float64(pos) / n
+	s.MinorityFraction = float64(minority) / n
+	for g := 0; g < 2; g++ {
+		if groupN[g] > 0 {
+			s.GroupPositiveRate[g] = float64(groupPos[g]) / float64(groupN[g])
+		}
+	}
+	s.BaseRateGap = abs(s.GroupPositiveRate[1] - s.GroupPositiveRate[0])
+	totalVar := 0.0
+	for j := 0; j < s.Features; j++ {
+		v := linalg.Variance(d.X.Col(j))
+		totalVar += v
+		if v == 0 {
+			s.ConstantFeatures++
+		}
+	}
+	if s.Features > 0 {
+		s.MeanFeatureVariance = totalVar / float64(s.Features)
+	}
+	return s
+}
+
+// String renders a compact multi-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d rows × %d features", s.Name, s.Rows, s.Features)
+	if s.NominalRows != s.Rows || s.NominalFeatures != s.Features {
+		fmt.Fprintf(&b, " (nominal %d × %d)", s.NominalRows, s.NominalFeatures)
+	}
+	fmt.Fprintf(&b, "\n  positive rate %.3f, minority fraction %.3f, base-rate gap %.3f",
+		s.PositiveRate, s.MinorityFraction, s.BaseRateGap)
+	fmt.Fprintf(&b, "\n  group positive rates: majority %.3f, minority %.3f",
+		s.GroupPositiveRate[0], s.GroupPositiveRate[1])
+	fmt.Fprintf(&b, "\n  mean feature variance %.4f, %d constant feature(s)",
+		s.MeanFeatureVariance, s.ConstantFeatures)
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/linalg"
+)
+
+func TestDescribeKnownDataset(t *testing.T) {
+	x := linalg.FromRows([][]float64{
+		{0.0, 0.5},
+		{1.0, 0.5},
+		{0.0, 0.5},
+		{1.0, 0.5},
+	})
+	d := &Dataset{
+		Name: "toy", X: x,
+		Y:         []int{1, 1, 0, 0},
+		Sensitive: []int{1, 0, 0, 0},
+	}
+	s := Describe(d)
+	if s.Rows != 4 || s.Features != 2 {
+		t.Fatalf("dims %d×%d", s.Rows, s.Features)
+	}
+	if s.PositiveRate != 0.5 {
+		t.Fatalf("positive rate %v", s.PositiveRate)
+	}
+	if s.MinorityFraction != 0.25 {
+		t.Fatalf("minority fraction %v", s.MinorityFraction)
+	}
+	// Majority group: 3 members, 1 positive → 1/3. Minority: 1/1.
+	if math.Abs(s.GroupPositiveRate[0]-1.0/3) > 1e-12 || s.GroupPositiveRate[1] != 1 {
+		t.Fatalf("group rates %v", s.GroupPositiveRate)
+	}
+	if math.Abs(s.BaseRateGap-2.0/3) > 1e-12 {
+		t.Fatalf("gap %v", s.BaseRateGap)
+	}
+	if s.ConstantFeatures != 1 {
+		t.Fatalf("constant features %d", s.ConstantFeatures)
+	}
+	if s.MeanFeatureVariance <= 0 {
+		t.Fatalf("mean variance %v", s.MeanFeatureVariance)
+	}
+	text := s.String()
+	for _, want := range []string{"toy", "positive rate 0.500", "constant feature"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("String() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	good := &Dataset{
+		Name: "ok",
+		X:    linalg.FromRows([][]float64{{0.1}, {0.9}}),
+		Y:    []int{0, 1}, Sensitive: []int{1, 0},
+		FeatureNames: []string{"f"},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Dataset){
+		func(d *Dataset) { d.X = nil },
+		func(d *Dataset) { d.Y = []int{0} },
+		func(d *Dataset) { d.Sensitive = []int{0} },
+		func(d *Dataset) { d.Y = []int{0, 2} },
+		func(d *Dataset) { d.Sensitive = []int{0, 3} },
+		func(d *Dataset) { d.FeatureNames = []string{"a", "b"} },
+		func(d *Dataset) { d.X.Set(0, 0, math.NaN()) },
+		func(d *Dataset) { d.X.Set(1, 0, math.Inf(1)) },
+	}
+	for i, mutate := range cases {
+		d := &Dataset{
+			Name: "bad",
+			X:    linalg.FromRows([][]float64{{0.1}, {0.9}}),
+			Y:    []int{0, 1}, Sensitive: []int{1, 0},
+			FeatureNames: []string{"f"},
+		}
+		mutate(d)
+		if d.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	d := &Dataset{Name: "empty", X: linalg.NewMatrix(0, 3)}
+	s := Describe(d)
+	if s.Rows != 0 || s.PositiveRate != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestDescribeNominalShown(t *testing.T) {
+	x := linalg.FromRows([][]float64{{0}, {1}})
+	d := &Dataset{Name: "n", X: x, Y: []int{0, 1}, Sensitive: []int{0, 1},
+		Nominal: NominalDims{Rows: 1000, Features: 50}}
+	s := Describe(d)
+	if s.NominalRows != 1000 || s.NominalFeatures != 50 {
+		t.Fatalf("nominal %d×%d", s.NominalRows, s.NominalFeatures)
+	}
+	if !strings.Contains(s.String(), "nominal 1000 × 50") {
+		t.Fatal("String() missing nominal dims")
+	}
+}

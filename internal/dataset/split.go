@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// Split holds the three partitions of the DFS protocol.
+type Split struct {
+	Train, Val, Test *Dataset
+}
+
+// StratifiedSplit partitions d into train/validation/test with the paper's
+// 3:1:1 ratio, stratified by class label so that all partitions preserve the
+// class balance. The split is deterministic given the RNG seed.
+func StratifiedSplit(d *Dataset, rng *xrand.RNG) (*Split, error) {
+	return StratifiedSplitRatio(d, 3, 1, 1, rng)
+}
+
+// StratifiedSplitRatio partitions d by the given integer ratio parts.
+func StratifiedSplitRatio(d *Dataset, train, val, test int, rng *xrand.RNG) (*Split, error) {
+	if train <= 0 || val <= 0 || test <= 0 {
+		return nil, fmt.Errorf("dataset: split ratio parts must be positive, got %d:%d:%d", train, val, test)
+	}
+	byClass := [2][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	if len(byClass[0]) < 3 || len(byClass[1]) < 3 {
+		return nil, fmt.Errorf("dataset %q: need at least 3 instances per class to split, got %d/%d",
+			d.Name, len(byClass[0]), len(byClass[1]))
+	}
+	total := train + val + test
+	var trainIdx, valIdx, testIdx []int
+	for _, idx := range byClass {
+		idx = append([]int(nil), idx...)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := len(idx)
+		nVal := n * val / total
+		nTest := n * test / total
+		if nVal == 0 {
+			nVal = 1
+		}
+		if nTest == 0 {
+			nTest = 1
+		}
+		nTrain := n - nVal - nTest
+		if nTrain < 1 {
+			nTrain, nVal, nTest = n-2, 1, 1
+		}
+		trainIdx = append(trainIdx, idx[:nTrain]...)
+		valIdx = append(valIdx, idx[nTrain:nTrain+nVal]...)
+		testIdx = append(testIdx, idx[nTrain+nVal:]...)
+	}
+	return &Split{
+		Train: d.Subset(trainIdx),
+		Val:   d.Subset(valIdx),
+		Test:  d.Subset(testIdx),
+	}, nil
+}
+
+// StratifiedSample returns a class-stratified sample of at most n rows,
+// used by the optimizer's subsampling-based landmarking. If d has fewer than
+// n rows the whole dataset (copied) is returned.
+func StratifiedSample(d *Dataset, n int, rng *xrand.RNG) *Dataset {
+	if n >= d.Rows() {
+		all := make([]int, d.Rows())
+		for i := range all {
+			all[i] = i
+		}
+		return d.Subset(all)
+	}
+	byClass := [2][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	frac := float64(n) / float64(d.Rows())
+	var pick []int
+	for _, idx := range byClass {
+		idx = append([]int(nil), idx...)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		k := int(float64(len(idx))*frac + 0.5)
+		if k == 0 && len(idx) > 0 {
+			k = 1
+		}
+		if k > len(idx) {
+			k = len(idx)
+		}
+		pick = append(pick, idx[:k]...)
+	}
+	return d.Subset(pick)
+}
+
+// KFold returns k stratified folds as (trainRows, valRows) index pairs for
+// cross-validation. Every instance appears in exactly one validation fold.
+func KFold(d *Dataset, k int, rng *xrand.RNG) ([][2][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: KFold needs k >= 2, got %d", k)
+	}
+	if k > d.Rows() {
+		return nil, fmt.Errorf("dataset: KFold k=%d exceeds %d rows", k, d.Rows())
+	}
+	byClass := [2][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	folds := make([][]int, k)
+	for _, idx := range byClass {
+		idx = append([]int(nil), idx...)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for pos, row := range idx {
+			folds[pos%k] = append(folds[pos%k], row)
+		}
+	}
+	out := make([][2][]int, k)
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		out[f] = [2][]int{train, folds[f]}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. It returns the eigenvalues in ascending
+// order and the corresponding eigenvectors as the columns of the returned
+// matrix. The input is not modified.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and dependency-free,
+// which is all the MCFS spectral embedding needs (graphs of at most a few
+// hundred nodes).
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: EigenSym needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	const symTol = 1e-8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("linalg: EigenSym input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Rotate rows/columns p and q of w.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate the rotation into the eigenvector matrix.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort ascending and permute eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] < values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// LassoCD solves min_w 1/(2n)·||y − Xw||² + alpha·||w||₁ by cyclic
+// coordinate descent and returns the coefficient vector. X is n×p; columns
+// are used as-is (callers should standardize when appropriate). maxIter
+// bounds the number of full coordinate sweeps; tol is the convergence
+// threshold on the maximum coefficient update.
+func LassoCD(x *Matrix, y []float64, alpha float64, maxIter int, tol float64) []float64 {
+	n, p := x.Rows, x.Cols
+	if len(y) != n {
+		panic(fmt.Sprintf("linalg: LassoCD target length %d != rows %d", len(y), n))
+	}
+	w := make([]float64, p)
+	if n == 0 || p == 0 {
+		return w
+	}
+	// Precompute per-column squared norms.
+	colSq := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			v := x.At(i, j)
+			colSq[j] += v * v
+		}
+	}
+	resid := make([]float64, n)
+	copy(resid, y)
+	nf := float64(n)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < p; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			// rho = (1/n)·x_j·(resid + x_j·w_j)
+			rho := 0.0
+			for i := 0; i < n; i++ {
+				rho += x.At(i, j) * resid[i]
+			}
+			rho = rho/nf + colSq[j]/nf*w[j]
+			newW := softThreshold(rho, alpha) / (colSq[j] / nf)
+			if d := newW - w[j]; d != 0 {
+				for i := 0; i < n; i++ {
+					resid[i] -= d * x.At(i, j)
+				}
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+				w[j] = newW
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return w
+}
+
+func softThreshold(v, lambda float64) float64 {
+	switch {
+	case v > lambda:
+		return v - lambda
+	case v < -lambda:
+		return v + lambda
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"sort"
+
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// Metric selects the distance function used by nearest-neighbour search.
+type Metric int
+
+const (
+	// Euclidean uses squared L2 distance (ordering-equivalent to L2).
+	Euclidean Metric = iota
+	// Manhattan uses L1 distance, the metric ReliefF uses on normalized data.
+	Manhattan
+)
+
+func distance(m Metric, a, b []float64) float64 {
+	if m == Manhattan {
+		return L1Dist(a, b)
+	}
+	return SqDist(a, b)
+}
+
+// KNN returns the indices of the k nearest rows of x to the query (excluding
+// rows listed in exclude), ordered by increasing distance. Ties break on the
+// lower index so results are deterministic.
+func KNN(x *Matrix, query []float64, k int, m Metric, exclude map[int]bool) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, 0, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		if exclude[i] {
+			continue
+		}
+		cands = append(cands, cand{i, distance(m, x.Row(i), query)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// KMeans clusters the rows of x into k clusters with Lloyd's algorithm and
+// k-means++ seeding, returning the cluster assignment per row and the
+// centroids. It runs at most maxIter iterations.
+func KMeans(x *Matrix, k, maxIter int, rng *xrand.RNG) (assign []int, centroids *Matrix) {
+	n := x.Rows
+	if k <= 0 || n == 0 {
+		return make([]int, n), NewMatrix(0, x.Cols)
+	}
+	if k > n {
+		k = n
+	}
+	centroids = NewMatrix(k, x.Cols)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+	minDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minDist[i] = SqDist(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		pick := rng.Choice(minDist)
+		copy(centroids.Row(c), x.Row(pick))
+		for i := 0; i < n; i++ {
+			if d := SqDist(x.Row(i), centroids.Row(c)); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, SqDist(x.Row(i), centroids.Row(0))
+			for c := 1; c < k; c++ {
+				if d := SqDist(x.Row(i), centroids.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for i := range centroids.Data {
+			centroids.Data[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			Axpy(1, x.Row(i), centroids.Row(assign[i]))
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				Scale(1/float64(counts[c]), centroids.Row(c))
+			} else {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids.Row(c), x.Row(rng.Intn(n)))
+			}
+		}
+	}
+	return assign, centroids
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Beyond equal opportunity, the paper names the generalized entropy index
+// (Speicher et al.) and observational discrimination ratios as fairness
+// metrics with the same inputs (§3, "Min Fairness"). They are provided here
+// so custom DFS flows can swap the fairness metric without touching the
+// selection machinery; the benchmark itself uses EO, as the paper does.
+
+// DemographicParity returns 1 − |P(ŷ=1 | minority) − P(ŷ=1 | majority)|:
+// 1 means both groups receive positive predictions at the same rate.
+// A group without members makes the metric vacuously 1.
+func DemographicParity(yPred, sensitive []int) float64 {
+	if len(yPred) != len(sensitive) {
+		panic("metrics: DemographicParity length mismatch")
+	}
+	var pos, n [2]int
+	for i, p := range yPred {
+		g := sensitive[i]
+		n[g]++
+		if p == 1 {
+			pos[g]++
+		}
+	}
+	if n[0] == 0 || n[1] == 0 {
+		return 1
+	}
+	r0 := float64(pos[0]) / float64(n[0])
+	r1 := float64(pos[1]) / float64(n[1])
+	return 1 - math.Abs(r1-r0)
+}
+
+// EqualizedOdds returns 1 − max(|ΔTPR|, |ΔFPR|) between the groups (Hardt
+// et al.'s stricter criterion: both error rates must match). Groups missing
+// positives (or negatives) contribute no TPR (or FPR) evidence.
+func EqualizedOdds(yTrue, yPred, sensitive []int) float64 {
+	if len(yTrue) != len(yPred) || len(yTrue) != len(sensitive) {
+		panic("metrics: EqualizedOdds length mismatch")
+	}
+	var tp, pos, fp, neg [2]int
+	for i, y := range yTrue {
+		g := sensitive[i]
+		if y == 1 {
+			pos[g]++
+			if yPred[i] == 1 {
+				tp[g]++
+			}
+		} else {
+			neg[g]++
+			if yPred[i] == 1 {
+				fp[g]++
+			}
+		}
+	}
+	gap := 0.0
+	if pos[0] > 0 && pos[1] > 0 {
+		dTPR := math.Abs(float64(tp[1])/float64(pos[1]) - float64(tp[0])/float64(pos[0]))
+		gap = math.Max(gap, dTPR)
+	}
+	if neg[0] > 0 && neg[1] > 0 {
+		dFPR := math.Abs(float64(fp[1])/float64(neg[1]) - float64(fp[0])/float64(neg[0]))
+		gap = math.Max(gap, dFPR)
+	}
+	return 1 - gap
+}
+
+// GeneralizedEntropyIndex computes the GE(α) unfairness index of Speicher
+// et al. over per-instance benefits b_i = ŷ_i − y_i + 1 (0 for a false
+// negative, 1 for a correct prediction, 2 for a false positive). Zero means
+// perfectly uniform benefit; larger values mean more individual unfairness.
+// alpha = 2 is the common choice (half the squared coefficient of
+// variation).
+func GeneralizedEntropyIndex(yTrue, yPred []int, alpha float64) (float64, error) {
+	if len(yTrue) != len(yPred) {
+		return 0, fmt.Errorf("metrics: GEI length mismatch %d != %d", len(yTrue), len(yPred))
+	}
+	if len(yTrue) == 0 {
+		return 0, fmt.Errorf("metrics: GEI on empty input")
+	}
+	n := float64(len(yTrue))
+	benefits := make([]float64, len(yTrue))
+	mean := 0.0
+	for i := range yTrue {
+		benefits[i] = float64(yPred[i]-yTrue[i]) + 1
+		mean += benefits[i]
+	}
+	mean /= n
+	if mean == 0 {
+		// Every instance is a false negative: define the index as 0 (all
+		// benefits equal).
+		return 0, nil
+	}
+	switch alpha {
+	case 1: // Theil index
+		sum := 0.0
+		for _, b := range benefits {
+			r := b / mean
+			if r > 0 {
+				sum += r * math.Log(r)
+			}
+		}
+		return sum / n, nil
+	case 0: // mean log deviation; undefined for zero benefits, floor them
+		sum := 0.0
+		for _, b := range benefits {
+			r := b / mean
+			if r <= 0 {
+				r = 1e-12
+			}
+			sum -= math.Log(r)
+		}
+		return sum / n, nil
+	default:
+		sum := 0.0
+		for _, b := range benefits {
+			sum += math.Pow(b/mean, alpha) - 1
+		}
+		return sum / (n * alpha * (alpha - 1)), nil
+	}
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDemographicParityEqualRates(t *testing.T) {
+	yPred := []int{1, 0, 1, 0}
+	sens := []int{0, 0, 1, 1}
+	if dp := DemographicParity(yPred, sens); dp != 1 {
+		t.Fatalf("DP = %v, want 1", dp)
+	}
+}
+
+func TestDemographicParityMaximalGap(t *testing.T) {
+	yPred := []int{1, 1, 0, 0}
+	sens := []int{0, 0, 1, 1}
+	if dp := DemographicParity(yPred, sens); dp != 0 {
+		t.Fatalf("DP = %v, want 0", dp)
+	}
+}
+
+func TestDemographicParityVacuous(t *testing.T) {
+	if dp := DemographicParity([]int{1, 0}, []int{0, 0}); dp != 1 {
+		t.Fatalf("single-group DP = %v", dp)
+	}
+}
+
+func TestEqualizedOddsPerfect(t *testing.T) {
+	// Both groups: TPR 1, FPR 0.
+	yTrue := []int{1, 0, 1, 0}
+	yPred := []int{1, 0, 1, 0}
+	sens := []int{0, 0, 1, 1}
+	if eo := EqualizedOdds(yTrue, yPred, sens); eo != 1 {
+		t.Fatalf("EOdds = %v", eo)
+	}
+}
+
+func TestEqualizedOddsFPRGap(t *testing.T) {
+	// TPRs equal (both 1), FPR majority 0 vs minority 1 → gap 1.
+	yTrue := []int{1, 0, 1, 0}
+	yPred := []int{1, 0, 1, 1}
+	sens := []int{0, 0, 1, 1}
+	if eo := EqualizedOdds(yTrue, yPred, sens); eo != 0 {
+		t.Fatalf("EOdds = %v, want 0", eo)
+	}
+}
+
+func TestEqualizedOddsStricterThanEO(t *testing.T) {
+	// Same TPRs but different FPRs: EO sees fairness, equalized odds not.
+	yTrue := []int{1, 1, 0, 0, 1, 1, 0, 0}
+	yPred := []int{1, 0, 0, 0, 1, 0, 1, 1}
+	sens := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	eo := EqualOpportunity(yTrue, yPred, sens)
+	eodds := EqualizedOdds(yTrue, yPred, sens)
+	if eo != 1 {
+		t.Fatalf("EO = %v, want 1 (TPRs equal)", eo)
+	}
+	if eodds >= eo {
+		t.Fatalf("equalized odds %v should be stricter than EO %v", eodds, eo)
+	}
+}
+
+func TestGEIPerfectPredictionIsZero(t *testing.T) {
+	y := []int{1, 0, 1, 0, 1}
+	gei, err := GeneralizedEntropyIndex(y, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gei != 0 {
+		t.Fatalf("GEI = %v, want 0 for uniform benefits", gei)
+	}
+}
+
+func TestGEIIncreasesWithUnevenBenefits(t *testing.T) {
+	yTrue := []int{1, 1, 0, 0}
+	fair := []int{1, 1, 0, 0}   // benefits all 1
+	uneven := []int{1, 0, 1, 0} // benefits 1, 0, 2, 1
+	geiFair, err := GeneralizedEntropyIndex(yTrue, fair, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geiUneven, err := GeneralizedEntropyIndex(yTrue, uneven, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geiUneven <= geiFair {
+		t.Fatalf("uneven GEI %v should exceed fair GEI %v", geiUneven, geiFair)
+	}
+}
+
+func TestGEITheilAndMLD(t *testing.T) {
+	yTrue := []int{1, 1, 0, 0}
+	yPred := []int{1, 0, 1, 0}
+	for _, alpha := range []float64{0, 1, 2} {
+		gei, err := GeneralizedEntropyIndex(yTrue, yPred, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gei < 0 || math.IsNaN(gei) || math.IsInf(gei, 0) {
+			t.Fatalf("GEI(alpha=%v) = %v", alpha, gei)
+		}
+	}
+}
+
+func TestGEIErrors(t *testing.T) {
+	if _, err := GeneralizedEntropyIndex([]int{1}, []int{1, 0}, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := GeneralizedEntropyIndex(nil, nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// All false negatives: mean benefit 0, defined as 0.
+	gei, err := GeneralizedEntropyIndex([]int{1, 1}, []int{0, 0}, 2)
+	if err != nil || gei != 0 {
+		t.Fatalf("all-FN GEI = %v, %v", gei, err)
+	}
+}
+
+func TestPropertyFairnessMetricBounds(t *testing.T) {
+	f := func(raw [10]uint8) bool {
+		yTrue := make([]int, len(raw))
+		yPred := make([]int, len(raw))
+		sens := make([]int, len(raw))
+		for i, v := range raw {
+			yTrue[i] = int(v) & 1
+			yPred[i] = int(v>>1) & 1
+			sens[i] = int(v>>2) & 1
+		}
+		dp := DemographicParity(yPred, sens)
+		eo := EqualizedOdds(yTrue, yPred, sens)
+		return dp >= 0 && dp <= 1 && eo >= 0 && eo <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGEINonNegativeAlpha2(t *testing.T) {
+	f := func(raw [10]uint8) bool {
+		yTrue := make([]int, len(raw))
+		yPred := make([]int, len(raw))
+		for i, v := range raw {
+			yTrue[i] = int(v) & 1
+			yPred[i] = int(v>>1) & 1
+		}
+		gei, err := GeneralizedEntropyIndex(yTrue, yPred, 2)
+		return err == nil && gei >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

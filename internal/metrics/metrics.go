@@ -1,0 +1,140 @@
+// Package metrics implements the evaluation metrics behind the paper's ML
+// application constraints (§3): the F1 score used for Min Accuracy, equal
+// opportunity for Min Fairness, the empirical robustness score for Min
+// Safety, plus the aggregation helpers used by the experiment tables
+// (mean ± standard deviation, normalized F1).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies a confusion matrix; it panics on length mismatch.
+func NewConfusion(yTrue, yPred []int) Confusion {
+	if len(yTrue) != len(yPred) {
+		panic(fmt.Sprintf("metrics: confusion length mismatch %d != %d", len(yTrue), len(yPred)))
+	}
+	var c Confusion
+	for i, y := range yTrue {
+		switch {
+		case y == 1 && yPred[i] == 1:
+			c.TP++
+		case y == 1:
+			c.FN++
+		case yPred[i] == 1:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no positive instances exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall. The paper uses F1 as
+// the accuracy metric because it is robust against class imbalance.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// F1Score is a convenience wrapper over NewConfusion(...).F1().
+func F1Score(yTrue, yPred []int) float64 {
+	return NewConfusion(yTrue, yPred).F1()
+}
+
+// Accuracy is a convenience wrapper over NewConfusion(...).Accuracy().
+func Accuracy(yTrue, yPred []int) float64 {
+	return NewConfusion(yTrue, yPred).Accuracy()
+}
+
+// EqualOpportunity computes EO = 1 − |TPR_minority − TPR_majority| (Hardt et
+// al.), where sensitive[i] == 1 marks minority-group membership. A group
+// without positive instances contributes no evidence of discrimination: if
+// either group has no positives, the metric is vacuously 1.
+func EqualOpportunity(yTrue, yPred, sensitive []int) float64 {
+	if len(yTrue) != len(yPred) || len(yTrue) != len(sensitive) {
+		panic("metrics: EqualOpportunity length mismatch")
+	}
+	var tp, pos [2]int
+	for i, y := range yTrue {
+		if y != 1 {
+			continue
+		}
+		g := sensitive[i]
+		pos[g]++
+		if yPred[i] == 1 {
+			tp[g]++
+		}
+	}
+	if pos[0] == 0 || pos[1] == 0 {
+		return 1
+	}
+	tprMaj := float64(tp[0]) / float64(pos[0])
+	tprMin := float64(tp[1]) / float64(pos[1])
+	return 1 - math.Abs(tprMin-tprMaj)
+}
+
+// Safety converts the accuracy drop under an evasion attack into the paper's
+// empirical robustness score: 1 − (F1_original − F1_attacked), clamped to
+// [0, 1]. A model whose F1 is unchanged by the attack has safety 1.
+func Safety(f1Original, f1Attacked float64) float64 {
+	s := 1 - (f1Original - f1Attacked)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// MeanStd returns the mean and (population) standard deviation of vals.
+func MeanStd(vals []float64) (mean, std float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std
+}

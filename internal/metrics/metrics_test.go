@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	c := NewConfusion(
+		[]int{1, 1, 0, 0, 1, 0},
+		[]int{1, 0, 1, 0, 1, 0},
+	)
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	y := []int{1, 0, 1, 0}
+	c := NewConfusion(y, y)
+	if c.Accuracy() != 1 || c.F1() != 1 || c.Precision() != 1 || c.Recall() != 1 {
+		t.Fatal("perfect prediction should score 1 everywhere")
+	}
+}
+
+func TestAllWrongPrediction(t *testing.T) {
+	c := NewConfusion([]int{1, 0}, []int{0, 1})
+	if c.Accuracy() != 0 || c.F1() != 0 {
+		t.Fatal("all-wrong prediction should score 0")
+	}
+}
+
+func TestF1KnownValue(t *testing.T) {
+	// precision = 2/3, recall = 2/4 → F1 = 2·(2/3·1/2)/(2/3+1/2) = 4/7.
+	c := Confusion{TP: 2, FP: 1, FN: 2}
+	if math.Abs(c.F1()-4.0/7.0) > 1e-12 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+}
+
+func TestDegenerateScoresAreZeroNotNaN(t *testing.T) {
+	c := Confusion{}
+	for _, v := range []float64{c.Accuracy(), c.Precision(), c.Recall(), c.F1()} {
+		if math.IsNaN(v) || v != 0 {
+			t.Fatalf("degenerate metric %v", v)
+		}
+	}
+	// No predicted positives.
+	c = NewConfusion([]int{1, 1}, []int{0, 0})
+	if c.F1() != 0 {
+		t.Fatal("no-positive prediction F1 should be 0")
+	}
+}
+
+func TestConfusionPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	NewConfusion([]int{1}, []int{1, 0})
+}
+
+func TestEqualOpportunityFair(t *testing.T) {
+	// Both groups have TPR 1/2.
+	yTrue := []int{1, 1, 1, 1}
+	yPred := []int{1, 0, 1, 0}
+	sens := []int{0, 0, 1, 1}
+	if eo := EqualOpportunity(yTrue, yPred, sens); eo != 1 {
+		t.Fatalf("EO = %v, want 1", eo)
+	}
+}
+
+func TestEqualOpportunityMaximallyUnfair(t *testing.T) {
+	// Majority TPR 1, minority TPR 0.
+	yTrue := []int{1, 1}
+	yPred := []int{1, 0}
+	sens := []int{0, 1}
+	if eo := EqualOpportunity(yTrue, yPred, sens); eo != 0 {
+		t.Fatalf("EO = %v, want 0", eo)
+	}
+}
+
+func TestEqualOpportunityPartialGap(t *testing.T) {
+	// Majority TPR = 1.0 (2/2), minority TPR = 0.5 (1/2) → EO = 0.5.
+	yTrue := []int{1, 1, 1, 1, 0}
+	yPred := []int{1, 1, 1, 0, 1}
+	sens := []int{0, 0, 1, 1, 1}
+	if eo := EqualOpportunity(yTrue, yPred, sens); math.Abs(eo-0.5) > 1e-12 {
+		t.Fatalf("EO = %v, want 0.5", eo)
+	}
+}
+
+func TestEqualOpportunityVacuous(t *testing.T) {
+	// Minority group has no positives → vacuously fair.
+	yTrue := []int{1, 0}
+	yPred := []int{0, 0}
+	sens := []int{0, 1}
+	if eo := EqualOpportunity(yTrue, yPred, sens); eo != 1 {
+		t.Fatalf("EO = %v, want vacuous 1", eo)
+	}
+}
+
+func TestEqualOpportunityIgnoresNegatives(t *testing.T) {
+	// Changing predictions on negative instances must not change EO.
+	yTrue := []int{1, 1, 0, 0}
+	sens := []int{0, 1, 0, 1}
+	a := EqualOpportunity(yTrue, []int{1, 1, 0, 0}, sens)
+	b := EqualOpportunity(yTrue, []int{1, 1, 1, 1}, sens)
+	if a != b {
+		t.Fatal("EO depends on negative-instance predictions")
+	}
+}
+
+func TestSafetyScores(t *testing.T) {
+	if s := Safety(0.9, 0.9); s != 1 {
+		t.Fatalf("no-drop safety %v", s)
+	}
+	if s := Safety(0.9, 0.4); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("safety %v, want 0.5", s)
+	}
+	// An attack that somehow improves F1 clamps to 1.
+	if s := Safety(0.5, 0.9); s != 1 {
+		t.Fatalf("improving attack safety %v", s)
+	}
+	if s := Safety(1, -1); s != 0 {
+		t.Fatalf("clamped floor %v", s)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Fatalf("mean %v std %v", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+}
+
+func TestPropertyF1Bounds(t *testing.T) {
+	f := func(raw [12]uint8) bool {
+		yTrue := make([]int, len(raw))
+		yPred := make([]int, len(raw))
+		for i, v := range raw {
+			yTrue[i] = int(v) & 1
+			yPred[i] = int(v>>1) & 1
+		}
+		v := F1Score(yTrue, yPred)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEOBounds(t *testing.T) {
+	f := func(raw [12]uint8) bool {
+		yTrue := make([]int, len(raw))
+		yPred := make([]int, len(raw))
+		sens := make([]int, len(raw))
+		for i, v := range raw {
+			yTrue[i] = int(v) & 1
+			yPred[i] = int(v>>1) & 1
+			sens[i] = int(v>>2) & 1
+		}
+		eo := EqualOpportunity(yTrue, yPred, sens)
+		return eo >= 0 && eo <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAccuracySymmetricUnderLabelSwap(t *testing.T) {
+	f := func(raw [10]uint8) bool {
+		yTrue := make([]int, len(raw))
+		yPred := make([]int, len(raw))
+		flipT := make([]int, len(raw))
+		flipP := make([]int, len(raw))
+		for i, v := range raw {
+			yTrue[i] = int(v) & 1
+			yPred[i] = int(v>>1) & 1
+			flipT[i] = 1 - yTrue[i]
+			flipP[i] = 1 - yPred[i]
+		}
+		return Accuracy(yTrue, yPred) == Accuracy(flipT, flipP)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

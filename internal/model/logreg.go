@@ -1,0 +1,147 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/declarative-fs/dfs/internal/dataset"
+)
+
+// LogReg is l2-regularized binary logistic regression trained by full-batch
+// gradient descent. Training is deterministic: no random initialization is
+// needed because the regularized logistic loss is strictly convex.
+type LogReg struct {
+	// C is the inverse regularization strength (sklearn convention).
+	C float64
+	// Epochs bounds the number of gradient steps.
+	Epochs int
+	// LearningRate is the (constant) step size; features are expected in
+	// [0, 1] so the default is stable.
+	LearningRate float64
+
+	w        []float64 // weights, one per feature
+	b        float64   // intercept
+	fitted   bool
+	constant int // fallback label when training data has one class
+	isConst  bool
+}
+
+// NewLogReg returns an untrained logistic regression with inverse
+// regularization strength c.
+func NewLogReg(c float64) *LogReg {
+	return &LogReg{C: c, Epochs: 150, LearningRate: 0.7}
+}
+
+// Name implements Classifier.
+func (m *LogReg) Name() string { return string(KindLR) }
+
+// Clone implements Classifier.
+func (m *LogReg) Clone() Classifier {
+	return &LogReg{C: m.C, Epochs: m.Epochs, LearningRate: m.LearningRate}
+}
+
+// Fit implements Classifier.
+func (m *LogReg) Fit(d *dataset.Dataset) error {
+	n, p := d.Rows(), d.Features()
+	if n == 0 {
+		return fmt.Errorf("model: LR fit on empty dataset")
+	}
+	m.isConst = false
+	zero, one := d.ClassCounts()
+	if zero == 0 || one == 0 {
+		m.isConst, m.constant = true, majorityLabel(d.Y)
+		m.w, m.b, m.fitted = make([]float64, p), 0, true
+		return nil
+	}
+	m.w = make([]float64, p)
+	m.b = 0
+	lambda := 0.0
+	if m.C > 0 {
+		lambda = 1 / (m.C * float64(n))
+	}
+	grad := make([]float64, p)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gb := 0.0
+		for i := 0; i < n; i++ {
+			row := d.X.Row(i)
+			pHat := sigmoid(m.rawScore(row))
+			err := pHat - float64(d.Y[i])
+			for j, v := range row {
+				grad[j] += err * v
+			}
+			gb += err
+		}
+		inv := 1 / float64(n)
+		lr := m.LearningRate
+		// Proximal step for the l2 term: unconditionally stable even for
+		// very small C (large lambda).
+		shrink := 1 / (1 + lr*lambda)
+		for j := range m.w {
+			m.w[j] = (m.w[j] - lr*grad[j]*inv) * shrink
+		}
+		m.b -= lr * gb * inv
+	}
+	m.fitted = true
+	return nil
+}
+
+func (m *LogReg) rawScore(x []float64) float64 {
+	s := m.b
+	for j, v := range x {
+		s += m.w[j] * v
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (m *LogReg) Predict(x []float64) int {
+	if m.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictProba implements Classifier.
+func (m *LogReg) PredictProba(x []float64) float64 {
+	if !m.fitted {
+		return 0.5
+	}
+	if m.isConst {
+		return float64(m.constant)
+	}
+	return sigmoid(m.rawScore(x))
+}
+
+// FeatureImportances implements Importancer: the absolute coefficients.
+func (m *LogReg) FeatureImportances() []float64 {
+	out := make([]float64, len(m.w))
+	for j, v := range m.w {
+		out[j] = math.Abs(v)
+	}
+	return out
+}
+
+// Coefficients returns the fitted weight vector and intercept.
+func (m *LogReg) Coefficients() (w []float64, b float64) {
+	return append([]float64(nil), m.w...), m.b
+}
+
+// SetCoefficients overwrites the fitted parameters; the privacy package uses
+// this to install noise-perturbed weights.
+func (m *LogReg) SetCoefficients(w []float64, b float64) {
+	m.w = append([]float64(nil), w...)
+	m.b = b
+	m.fitted = true
+	m.isConst = false
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

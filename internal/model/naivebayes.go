@@ -1,0 +1,158 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/declarative-fs/dfs/internal/dataset"
+)
+
+// GaussianNB is Gaussian naive Bayes with a variance floor. Following the
+// scikit-learn convention, each feature's per-class variance is increased by
+// VarSmoothing times the largest feature variance in the training data.
+type GaussianNB struct {
+	// VarSmoothing is the portion of the largest feature variance added to
+	// all per-class variances for numerical stability.
+	VarSmoothing float64
+
+	logPrior [2]float64
+	mean     [2][]float64
+	variance [2][]float64
+	fitted   bool
+	isConst  bool
+	constant int
+}
+
+// NewGaussianNB returns an untrained Gaussian naive Bayes classifier.
+func NewGaussianNB(varSmoothing float64) *GaussianNB {
+	return &GaussianNB{VarSmoothing: varSmoothing}
+}
+
+// Name implements Classifier.
+func (m *GaussianNB) Name() string { return string(KindNB) }
+
+// Clone implements Classifier.
+func (m *GaussianNB) Clone() Classifier { return &GaussianNB{VarSmoothing: m.VarSmoothing} }
+
+// Fit implements Classifier.
+func (m *GaussianNB) Fit(d *dataset.Dataset) error {
+	n, p := d.Rows(), d.Features()
+	if n == 0 {
+		return fmt.Errorf("model: NB fit on empty dataset")
+	}
+	m.isConst = false
+	zero, one := d.ClassCounts()
+	if zero == 0 || one == 0 {
+		m.isConst, m.constant, m.fitted = true, majorityLabel(d.Y), true
+		return nil
+	}
+	counts := [2]float64{float64(zero), float64(one)}
+	for c := 0; c < 2; c++ {
+		m.logPrior[c] = math.Log(counts[c] / float64(n))
+		m.mean[c] = make([]float64, p)
+		m.variance[c] = make([]float64, p)
+	}
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		c := d.Y[i]
+		for j, v := range row {
+			m.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.mean[c] {
+			m.mean[c][j] /= counts[c]
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		c := d.Y[i]
+		for j, v := range row {
+			dlt := v - m.mean[c][j]
+			m.variance[c][j] += dlt * dlt
+		}
+	}
+	// Global max feature variance for the smoothing floor.
+	maxVar := 0.0
+	globalMean := make([]float64, p)
+	for i := 0; i < n; i++ {
+		for j, v := range d.X.Row(i) {
+			globalMean[j] += v
+		}
+	}
+	for j := range globalMean {
+		globalMean[j] /= float64(n)
+	}
+	globalVar := make([]float64, p)
+	for i := 0; i < n; i++ {
+		for j, v := range d.X.Row(i) {
+			dlt := v - globalMean[j]
+			globalVar[j] += dlt * dlt
+		}
+	}
+	for j := range globalVar {
+		globalVar[j] /= float64(n)
+		if globalVar[j] > maxVar {
+			maxVar = globalVar[j]
+		}
+	}
+	floor := m.VarSmoothing * maxVar
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.variance[c] {
+			m.variance[c][j] = m.variance[c][j]/counts[c] + floor
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+func (m *GaussianNB) logLikelihood(c int, x []float64) float64 {
+	ll := m.logPrior[c]
+	for j, v := range x {
+		va := m.variance[c][j]
+		dlt := v - m.mean[c][j]
+		ll += -0.5*math.Log(2*math.Pi*va) - dlt*dlt/(2*va)
+	}
+	return ll
+}
+
+// Predict implements Classifier.
+func (m *GaussianNB) Predict(x []float64) int {
+	if m.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictProba implements Classifier.
+func (m *GaussianNB) PredictProba(x []float64) float64 {
+	if !m.fitted {
+		return 0.5
+	}
+	if m.isConst {
+		return float64(m.constant)
+	}
+	l0, l1 := m.logLikelihood(0, x), m.logLikelihood(1, x)
+	// Normalize in log space to avoid under/overflow.
+	mx := math.Max(l0, l1)
+	e0, e1 := math.Exp(l0-mx), math.Exp(l1-mx)
+	return e1 / (e0 + e1)
+}
+
+// Stats exposes the fitted per-class means and variances; the differential
+// privacy wrapper perturbs them.
+func (m *GaussianNB) Stats() (mean, variance [2][]float64, logPrior [2]float64) {
+	return m.mean, m.variance, m.logPrior
+}
+
+// SetStats overwrites the fitted parameters; used by the DP wrapper.
+func (m *GaussianNB) SetStats(mean, variance [2][]float64, logPrior [2]float64) {
+	m.mean = mean
+	m.variance = variance
+	m.logPrior = logPrior
+	m.fitted = true
+	m.isConst = false
+}

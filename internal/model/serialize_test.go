@@ -1,0 +1,62 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestForestRoundTrip(t *testing.T) {
+	d := xorData(200, 9)
+	f := NewForest(12, 7)
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on every training point.
+	for i := 0; i < d.Rows(); i++ {
+		row := d.X.Row(i)
+		if f.PredictProba(row) != got.PredictProba(row) {
+			t.Fatalf("prediction differs after roundtrip at row %d", i)
+		}
+	}
+	// Hyperparameters survive.
+	if got.Seed != f.Seed || got.Balanced != f.Balanced {
+		t.Fatal("metadata lost in roundtrip")
+	}
+}
+
+func TestWriteForestRejectsUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, NewForest(3, 1)); err == nil {
+		t.Fatal("unfitted forest serialized")
+	}
+}
+
+func TestReadForestRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version":99,"trees":[]}`,
+		`{"version":1,"trees":[]}`,
+		`{"version":1,"trees":[{"nodes":[],"n_features":2}]}`,
+		// Leaf with children.
+		`{"version":1,"trees":[{"nodes":[{"f":0,"t":0,"l":1,"r":1,"p":0.5,"leaf":true}],"n_features":1}]}`,
+		// Child index out of range.
+		`{"version":1,"trees":[{"nodes":[{"f":0,"t":0.5,"l":5,"r":6,"p":0,"leaf":false}],"n_features":1}]}`,
+		// Back-edge (cycle).
+		`{"version":1,"trees":[{"nodes":[{"f":0,"t":0.5,"l":0,"r":0,"p":0,"leaf":false}],"n_features":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadForest(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

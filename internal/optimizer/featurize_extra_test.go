@@ -1,0 +1,82 @@
+package optimizer
+
+import (
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+func TestFeaturizeWithSafetyAndPrivacyLandmarks(t *testing.T) {
+	cs := baseConstraints()
+	cs.MinSafety = 0.9
+	cs.PrivacyEps = 0.5
+	scn := testScenario(t, "COMPAS", cs, model.KindDT)
+	x, err := Featurize(scn, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != FeatureDim {
+		t.Fatalf("width %d", len(x))
+	}
+	h0 := 5 + constraint.VectorLen
+	// Safety hardness slot (index h0+3) must reflect the landmark attack:
+	// finite and within [-1, 1].
+	safety := x[h0+3]
+	if safety < -1 || safety > 1 {
+		t.Fatalf("safety hardness %v out of range", safety)
+	}
+	// Privacy hardness slot (h0+4) uses the DP model's F1: also bounded.
+	priv := x[h0+4]
+	if priv < -1 || priv > 1 {
+		t.Fatalf("privacy hardness %v out of range", priv)
+	}
+}
+
+func TestFeaturizePrivacyHardnessDropsWithTightEpsilon(t *testing.T) {
+	loose := baseConstraints()
+	loose.PrivacyEps = 100
+	tight := baseConstraints()
+	tight.PrivacyEps = 0.005
+	h0 := 5 + constraint.VectorLen
+
+	// Average several landmark seeds: DP noise is random.
+	avg := func(cs constraint.Set) float64 {
+		sum := 0.0
+		const reps = 5
+		for r := 0; r < reps; r++ {
+			scn := testScenario(t, "COMPAS", cs, model.KindLR)
+			x, err := Featurize(scn, xrand.New(uint64(50+r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += x[h0+4]
+		}
+		return sum / reps
+	}
+	if a, b := avg(loose), avg(tight); a <= b {
+		t.Fatalf("privacy hardness should drop with tight epsilon: loose %v vs tight %v", a, b)
+	}
+}
+
+func TestFeaturizeSearchTimeSlotGrowsWithBudget(t *testing.T) {
+	small := baseConstraints()
+	small.MaxSearchCost = 10
+	big := baseConstraints()
+	big.MaxSearchCost = 10000
+	h0 := 5 + constraint.VectorLen
+	scnS := testScenario(t, "COMPAS", small, model.KindLR)
+	scnB := testScenario(t, "COMPAS", big, model.KindLR)
+	xs, err := Featurize(scnS, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := Featurize(scnB, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xb[h0+5] > xs[h0+5]) {
+		t.Fatalf("budget slot: big %v should exceed small %v", xb[h0+5], xs[h0+5])
+	}
+}

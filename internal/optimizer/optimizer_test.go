@@ -1,0 +1,242 @@
+package optimizer
+
+import (
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/synth"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+func testScenario(t *testing.T, name string, cs constraint.Set, kind model.Kind) *core.Scenario {
+	t.Helper()
+	p, err := synth.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := synth.GenerateDataset(&p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := core.NewScenario(d, kind, cs, false, core.ModeSatisfy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+func baseConstraints() constraint.Set {
+	return constraint.Set{MinF1: 0.7, MaxSearchCost: 1000, MaxFeatureFrac: 1}
+}
+
+func TestFeaturizeShapeAndDeterminism(t *testing.T) {
+	scn := testScenario(t, "COMPAS", baseConstraints(), model.KindLR)
+	a, err := Featurize(scn, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != FeatureDim {
+		t.Fatalf("feature width %d != %d", len(a), FeatureDim)
+	}
+	b, err := Featurize(scn, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed featurization differs")
+		}
+	}
+}
+
+func TestFeaturizeModelOneHot(t *testing.T) {
+	for i, kind := range []model.Kind{model.KindLR, model.KindNB, model.KindDT} {
+		scn := testScenario(t, "COMPAS", baseConstraints(), kind)
+		x, err := Featurize(scn, xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneHot := x[2:5]
+		for j, v := range oneHot {
+			want := 0.0
+			if j == i {
+				want = 1
+			}
+			if v != want {
+				t.Fatalf("%s one-hot %v", kind, oneHot)
+			}
+		}
+	}
+}
+
+func TestFeaturizeEncodesConstraints(t *testing.T) {
+	cs := baseConstraints()
+	cs.MinEO = 0.92
+	scn := testScenario(t, "COMPAS", cs, model.KindLR)
+	x, err := Featurize(scn, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constraint block starts at index 5 and mirrors constraint.Vector().
+	if x[5] != cs.MinF1 || x[7] != 0.92 {
+		t.Fatalf("constraint block %v", x[5:5+constraint.VectorLen])
+	}
+}
+
+func TestFeaturizeHardnessReflectsThreshold(t *testing.T) {
+	// Same scenario, harder F1 threshold → smaller hardness slot 0.
+	easy := testScenario(t, "COMPAS", baseConstraints(), model.KindLR)
+	hardCS := baseConstraints()
+	hardCS.MinF1 = 0.99
+	hard := testScenario(t, "COMPAS", hardCS, model.KindLR)
+	xe, err := Featurize(easy, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xh, err := Featurize(hard, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := 5 + constraint.VectorLen
+	if !(xh[h0] < xe[h0]) {
+		t.Fatalf("hardness slot did not drop: easy %v hard %v", xe[h0], xh[h0])
+	}
+}
+
+func TestFeaturizeDatasetDims(t *testing.T) {
+	small := testScenario(t, "COMPAS", baseConstraints(), model.KindLR)
+	big := testScenario(t, "Traffic Violations", baseConstraints(), model.KindLR)
+	xs, err := Featurize(small, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := Featurize(big, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xb[0] > xs[0]) || !(xb[1] > xs[1]) {
+		t.Fatalf("nominal dims not reflected: %v vs %v", xb[:2], xs[:2])
+	}
+}
+
+// syntheticExamples builds a learnable meta-dataset: strategy "A" succeeds
+// when feature 0 > 0.5, strategy "B" when feature 0 <= 0.5.
+func syntheticExamples(n int, seed uint64) []Example {
+	rng := xrand.New(seed)
+	out := make([]Example, n)
+	for i := range out {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		out[i] = Example{
+			X: x,
+			Satisfied: map[string]bool{
+				"A": x[0] > 0.5,
+				"B": x[0] <= 0.5,
+				"C": true,  // always satisfied
+				"D": false, // never satisfied
+			},
+		}
+	}
+	return out
+}
+
+func TestTrainAndChoose(t *testing.T) {
+	opt, err := Train(syntheticExamples(300, 1), []string{"A", "B", "C", "D"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "C" constant always wins argmax (probability 1); exclude it to
+	// check the learned split between A and B.
+	probsHi := opt.Probabilities([]float64{0.9, 0.5, 0.5, 0.5})
+	probsLo := opt.Probabilities([]float64{0.1, 0.5, 0.5, 0.5})
+	if !(probsHi["A"] > probsHi["B"]) {
+		t.Fatalf("high-x0 scenario: A %v should beat B %v", probsHi["A"], probsHi["B"])
+	}
+	if !(probsLo["B"] > probsLo["A"]) {
+		t.Fatalf("low-x0 scenario: B %v should beat A %v", probsLo["B"], probsLo["A"])
+	}
+	if probsHi["C"] != 1 || probsHi["D"] != 0 {
+		t.Fatalf("constant strategies wrong: C=%v D=%v", probsHi["C"], probsHi["D"])
+	}
+	if got := opt.Choose([]float64{0.9, 0.5, 0.5, 0.5}); got != "C" && got != "A" {
+		t.Fatalf("Choose returned %q", got)
+	}
+}
+
+func TestRankingOrdersByProbability(t *testing.T) {
+	opt, err := Train(syntheticExamples(300, 2), []string{"A", "B", "C", "D"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := opt.Ranking([]float64{0.95, 0.5, 0.5, 0.5})
+	if len(rank) != 4 {
+		t.Fatalf("ranking %v", rank)
+	}
+	if rank[len(rank)-1] != "D" {
+		t.Fatalf("never-satisfied strategy should rank last: %v", rank)
+	}
+	pos := map[string]int{}
+	for i, s := range rank {
+		pos[s] = i
+	}
+	if pos["A"] > pos["B"] {
+		t.Fatalf("A should outrank B for high x0: %v", rank)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, []string{"A"}, 1); err == nil {
+		t.Fatal("empty examples accepted")
+	}
+	if _, err := Train(syntheticExamples(5, 1), nil, 1); err == nil {
+		t.Fatal("empty strategies accepted")
+	}
+	ragged := syntheticExamples(5, 1)
+	ragged[2].X = ragged[2].X[:2]
+	if _, err := Train(ragged, []string{"A"}, 1); err == nil {
+		t.Fatal("ragged examples accepted")
+	}
+}
+
+func TestEndToEndWithRealFeaturization(t *testing.T) {
+	// Featurize a few real scenarios and train a meta-model on a synthetic
+	// labelling driven by the EO constraint slot — verifies the whole
+	// pipeline wiring without running the expensive benchmark.
+	var examples []Example
+	rng := xrand.New(3)
+	for i := 0; i < 40; i++ {
+		cs := constraint.Sample(rng, constraint.DefaultSamplerConfig())
+		scn := testScenario(t, "COMPAS", cs, model.KindLR)
+		x, err := Featurize(scn, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		examples = append(examples, Example{
+			X: x,
+			Satisfied: map[string]bool{
+				"ranker":  !cs.HasEO(),
+				"forward": true,
+			},
+		})
+	}
+	opt, err := Train(examples, []string{"ranker", "forward"}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scenario with a tough EO constraint should favour "forward".
+	cs := baseConstraints()
+	cs.MinEO = 0.97
+	scn := testScenario(t, "COMPAS", cs, model.KindLR)
+	x, err := Featurize(scn, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := opt.Probabilities(x)
+	if !(probs["forward"] > probs["ranker"]) {
+		t.Fatalf("EO-heavy scenario should favour forward: %v", probs)
+	}
+}

@@ -1,0 +1,88 @@
+package optimizer
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// The optimizer persists as a JSON document: strategy names, constant
+// predictions for strategies whose training labels were single-class, and
+// one serialized random forest per learned strategy. Training the optimizer
+// means re-running hundreds of strategy benchmarks, so persistence is the
+// difference between a one-off cost and a per-session one.
+
+type optimizerDoc struct {
+	Version    int                `json:"version"`
+	Strategies []string           `json:"strategies"`
+	Constants  map[string]float64 `json:"constants"`
+	// Forests maps strategy name to the base64 of the forest JSON (nesting
+	// raw JSON documents keeps the forest format self-contained).
+	Forests map[string]string `json:"forests"`
+}
+
+const optimizerFormatVersion = 1
+
+// Write serializes a trained optimizer.
+func (o *Optimizer) Write(w io.Writer) error {
+	doc := optimizerDoc{
+		Version:    optimizerFormatVersion,
+		Strategies: o.strategies,
+		Constants:  o.constant,
+		Forests:    make(map[string]string, len(o.forests)),
+	}
+	for s, f := range o.forests {
+		var buf bytes.Buffer
+		if err := model.WriteForest(&buf, f); err != nil {
+			return fmt.Errorf("optimizer: serializing forest for %s: %w", s, err)
+		}
+		doc.Forests[s] = base64.StdEncoding.EncodeToString(buf.Bytes())
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// Read deserializes an optimizer written by Write.
+func Read(r io.Reader) (*Optimizer, error) {
+	var doc optimizerDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("optimizer: decoding: %w", err)
+	}
+	if doc.Version != optimizerFormatVersion {
+		return nil, fmt.Errorf("optimizer: unsupported format version %d", doc.Version)
+	}
+	if len(doc.Strategies) == 0 {
+		return nil, fmt.Errorf("optimizer: document has no strategies")
+	}
+	o := &Optimizer{
+		strategies: doc.Strategies,
+		forests:    make(map[string]*model.Forest, len(doc.Forests)),
+		constant:   doc.Constants,
+	}
+	if o.constant == nil {
+		o.constant = map[string]float64{}
+	}
+	for s, b64 := range doc.Forests {
+		raw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: forest for %s: %w", s, err)
+		}
+		f, err := model.ReadForest(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: forest for %s: %w", s, err)
+		}
+		o.forests[s] = f
+	}
+	// Every strategy must be covered by a forest or a constant.
+	for _, s := range o.strategies {
+		if _, okF := o.forests[s]; !okF {
+			if _, okC := o.constant[s]; !okC {
+				return nil, fmt.Errorf("optimizer: strategy %s has neither forest nor constant", s)
+			}
+		}
+	}
+	return o, nil
+}

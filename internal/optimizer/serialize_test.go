@@ -1,0 +1,56 @@
+package optimizer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOptimizerRoundTrip(t *testing.T) {
+	opt, err := Train(syntheticExamples(200, 4), []string{"A", "B", "C", "D"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := opt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical probabilities on probe points.
+	probes := [][]float64{
+		{0.9, 0.5, 0.5, 0.5},
+		{0.1, 0.2, 0.3, 0.4},
+		{0.5, 0.5, 0.5, 0.5},
+	}
+	for _, x := range probes {
+		want := opt.Probabilities(x)
+		have := got.Probabilities(x)
+		for s, p := range want {
+			if have[s] != p {
+				t.Fatalf("probability for %s differs after roundtrip: %v vs %v", s, have[s], p)
+			}
+		}
+		if opt.Choose(x) != got.Choose(x) {
+			t.Fatal("Choose differs after roundtrip")
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		`{"version":2,"strategies":["A"]}`,
+		`{"version":1,"strategies":[]}`,
+		`{"version":1,"strategies":["A"],"forests":{},"constants":{}}`,
+		`{"version":1,"strategies":["A"],"forests":{"A":"!!!"},"constants":{}}`,
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package privacy
+
+import (
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/linalg"
+	"github.com/declarative-fs/dfs/internal/metrics"
+	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+func separable(n, p int, seed uint64) *dataset.Dataset {
+	rng := xrand.New(seed)
+	x := linalg.NewMatrix(n, p)
+	y := make([]int, n)
+	s := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x.Set(i, 0, rng.Uniform(0.7, 1.0))
+			y[i] = 1
+		} else {
+			x.Set(i, 0, rng.Uniform(0.0, 0.3))
+		}
+		for j := 1; j < p; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+		s[i] = rng.Intn(2)
+	}
+	return &dataset.Dataset{Name: "sep", X: x, Y: y, Sensitive: s}
+}
+
+func f1On(c model.Classifier, d *dataset.Dataset) float64 {
+	return metrics.F1Score(d.Y, model.PredictBatch(c, d.X))
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(model.Spec{Kind: model.KindLR}, 0, xrand.New(1)); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := New(model.Spec{Kind: model.KindLR}, -1, xrand.New(1)); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+	if _, err := New(model.Spec{Kind: model.KindLR}, 1, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := New(model.Spec{Kind: "bogus"}, 1, xrand.New(1)); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestAllDPVariantsTrainAndPredict(t *testing.T) {
+	train := separable(300, 3, 1)
+	test := separable(100, 3, 2)
+	for _, kind := range []model.Kind{model.KindLR, model.KindNB, model.KindDT} {
+		c, err := New(model.Spec{Kind: kind}, 50, xrand.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i := 0; i < test.Rows(); i++ {
+			p := c.PredictProba(test.X.Row(i))
+			if p < 0 || p > 1 {
+				t.Fatalf("%s proba %v", c.Name(), p)
+			}
+		}
+		// Generous epsilon: should still learn the separable signal.
+		if f1 := f1On(c, test); f1 < 0.7 {
+			t.Errorf("%s with eps=50 F1 = %v, expected useful model", c.Name(), f1)
+		}
+	}
+}
+
+func TestSmallEpsilonDegradesUtility(t *testing.T) {
+	train := separable(300, 5, 3)
+	test := separable(150, 5, 4)
+	for _, kind := range []model.Kind{model.KindLR, model.KindNB, model.KindDT} {
+		// Average over repeats: DP training is random.
+		avg := func(eps float64) float64 {
+			sum := 0.0
+			const reps = 7
+			for r := 0; r < reps; r++ {
+				c, err := New(model.Spec{Kind: kind}, eps, xrand.New(uint64(100+r)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Fit(train); err != nil {
+					t.Fatal(err)
+				}
+				sum += f1On(c, test)
+			}
+			return sum / reps
+		}
+		loose, tight := avg(100), avg(0.01)
+		if loose-tight < 0.1 {
+			t.Errorf("%s: eps=100 F1 %v vs eps=0.01 F1 %v — noise not degrading utility",
+				kind, loose, tight)
+		}
+	}
+}
+
+func TestFewerFeaturesHelpUnderTightBudget(t *testing.T) {
+	// The core phenomenon the paper exploits: under a fixed small epsilon,
+	// a small informative feature set beats the full noisy feature set.
+	// NB splits its budget across 4·d statistics, so d matters directly.
+	trainWide := separable(400, 30, 5)
+	testWide := separable(200, 30, 6)
+	narrowCols := []int{0, 1}
+	trainNarrow := trainWide.SelectFeatures(narrowCols)
+	testNarrow := testWide.SelectFeatures(narrowCols)
+
+	avg := func(train, test *dataset.Dataset) float64 {
+		sum := 0.0
+		const reps = 9
+		for r := 0; r < reps; r++ {
+			c, err := New(model.Spec{Kind: model.KindNB}, 2, xrand.New(uint64(200+r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			sum += f1On(c, test)
+		}
+		return sum / reps
+	}
+	wide, narrow := avg(trainWide, testWide), avg(trainNarrow, testNarrow)
+	if narrow <= wide {
+		t.Errorf("narrow F1 %v should beat wide F1 %v under tight epsilon", narrow, wide)
+	}
+}
+
+func TestDPFitIsRandomAcrossCalls(t *testing.T) {
+	train := separable(100, 3, 7)
+	c, err := New(model.Spec{Kind: model.KindLR}, 1, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.PredictProba(train.X.Row(0))
+	if err := c.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	p2 := c.PredictProba(train.X.Row(0))
+	if p1 == p2 {
+		t.Fatal("two DP releases produced identical noise")
+	}
+}
+
+func TestDPDeterministicGivenSeed(t *testing.T) {
+	train := separable(100, 3, 8)
+	run := func() float64 {
+		c, err := New(model.Spec{Kind: model.KindDT}, 1, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return c.PredictProba(train.X.Row(3))
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different DP models")
+	}
+}
+
+func TestCloneProducesIndependentVariant(t *testing.T) {
+	train := separable(80, 2, 9)
+	c, err := New(model.Spec{Kind: model.KindNB}, 5, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Clone()
+	if clone.Name() != c.Name() {
+		t.Fatal("clone renamed")
+	}
+	if err := clone.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Unfitted original must still answer 0.5.
+	if p := c.PredictProba([]float64{0.5, 0.5}); p != 0.5 {
+		t.Fatalf("original affected by clone fit: %v", p)
+	}
+}
+
+func TestDPTreeHandlesEmptyRegions(t *testing.T) {
+	// A tiny dataset leaves many random-tree leaves empty; prediction must
+	// still be defined everywhere.
+	train := separable(12, 2, 10)
+	c, err := New(model.Spec{Kind: model.KindDT}, 1, xrand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{0, 0.25, 0.5, 0.75, 1}
+	for _, a := range grid {
+		for _, b := range grid {
+			p := c.PredictProba([]float64{a, b})
+			if p < 0 || p > 1 {
+				t.Fatalf("proba %v at (%v,%v)", p, a, b)
+			}
+		}
+	}
+}
+
+func TestGammaDirectionalNoiseMagnitude(t *testing.T) {
+	rng := xrand.New(17)
+	const dim, scale, reps = 4, 0.5, 4000
+	sum := 0.0
+	for r := 0; r < reps; r++ {
+		v := gammaDirectionalNoise(rng, dim, scale)
+		if len(v) != dim {
+			t.Fatal("wrong dimension")
+		}
+		sum += linalg.Norm2(v)
+	}
+	got := sum / reps
+	want := dim * scale // E[Gamma(dim, scale)] = dim·scale
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("mean magnitude %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,144 @@
+package ranking
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/linalg"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// MCFS is the sparse-learning-based multi-cluster feature selection of Cai,
+// Zhang & He: build a k-nearest-neighbour affinity graph over (a sample of)
+// the instances, take the bottom non-trivial eigenvectors of its normalized
+// Laplacian as a spectral embedding, regress each embedding dimension onto
+// the features with an l1 penalty, and score each feature by its largest
+// absolute coefficient across the embedding regressions. It is unsupervised:
+// the target is never consulted.
+type MCFS struct {
+	// EmbeddingDims is K, the number of spectral dimensions; 0 means 4.
+	EmbeddingDims int
+	// GraphNeighbors is the kNN graph degree; 0 means 5.
+	GraphNeighbors int
+	// SampleRows caps the graph size; 0 means 200.
+	SampleRows int
+	// Alpha is the lasso penalty; 0 means 0.01.
+	Alpha float64
+}
+
+// Name implements Ranker.
+func (MCFS) Name() string { return "MCFS" }
+
+// Family implements Ranker.
+func (MCFS) Family() budget.RankingFamily { return budget.RankMCFS }
+
+// Rank implements Ranker.
+func (m MCFS) Rank(train *dataset.Dataset, rng *xrand.RNG) ([]float64, error) {
+	n, p := train.Rows(), train.Features()
+	if n == 0 {
+		return nil, fmt.Errorf("ranking: MCFS on empty dataset")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ranking: MCFS needs an RNG")
+	}
+	kDims := m.EmbeddingDims
+	if kDims <= 0 {
+		kDims = 4
+	}
+	kNN := m.GraphNeighbors
+	if kNN <= 0 {
+		kNN = 5
+	}
+	cap := m.SampleRows
+	if cap <= 0 {
+		cap = 200
+	}
+	alpha := m.Alpha
+	if alpha == 0 {
+		alpha = 0.01
+	}
+
+	// Sample rows to bound the O(n²) graph and O(n³) eigendecomposition.
+	x := train.X
+	if n > cap {
+		rows := rng.Sample(n, cap)
+		x = x.SelectRows(rows)
+		n = cap
+	}
+	if kDims >= n {
+		kDims = n - 1
+	}
+	if kDims < 1 {
+		kDims = 1
+	}
+
+	// Heat-kernel kNN affinity graph, symmetrized.
+	w := linalg.NewMatrix(n, n)
+	// Bandwidth: mean squared distance between sampled pairs.
+	sigma2 := 0.0
+	pairs := 0
+	for i := 0; i < n; i += 2 {
+		for l := i + 1; l < n && l < i+4; l++ {
+			sigma2 += linalg.SqDist(x.Row(i), x.Row(l))
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		sigma2 /= float64(pairs)
+	}
+	if sigma2 <= 0 {
+		sigma2 = 1
+	}
+	for i := 0; i < n; i++ {
+		nn := linalg.KNN(x, x.Row(i), kNN+1, linalg.Euclidean, map[int]bool{i: true})
+		for _, l := range nn {
+			a := math.Exp(-linalg.SqDist(x.Row(i), x.Row(l)) / sigma2)
+			if a > w.At(i, l) {
+				w.Set(i, l, a)
+				w.Set(l, i, a)
+			}
+		}
+	}
+
+	// Normalized Laplacian L = I − D^{-1/2} W D^{-1/2}.
+	dInvSqrt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg := 0.0
+		for l := 0; l < n; l++ {
+			deg += w.At(i, l)
+		}
+		if deg > 0 {
+			dInvSqrt[i] = 1 / math.Sqrt(deg)
+		}
+	}
+	lap := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for l := 0; l < n; l++ {
+			v := -dInvSqrt[i] * w.At(i, l) * dInvSqrt[l]
+			if i == l {
+				v += 1
+			}
+			lap.Set(i, l, v)
+		}
+	}
+	_, vecs, err := linalg.EigenSym(lap)
+	if err != nil {
+		return nil, fmt.Errorf("ranking: MCFS embedding: %w", err)
+	}
+
+	// Bottom kDims non-trivial eigenvectors (skip the constant first one),
+	// each regressed onto the features with lasso.
+	scores := make([]float64, p)
+	for k := 1; k <= kDims && k < n; k++ {
+		target := vecs.Col(k)
+		coef := linalg.LassoCD(x, target, alpha, 200, 1e-7)
+		for j, c := range coef {
+			if a := math.Abs(c); a > scores[j] {
+				scores[j] = a
+			}
+		}
+	}
+	return scores, nil
+}

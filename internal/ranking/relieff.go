@@ -1,0 +1,137 @@
+package ranking
+
+import (
+	"fmt"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/linalg"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// ReliefF is the similarity-based ranker of Robnik-Šikonja & Kononenko: for
+// sampled instances it finds the k nearest hits (same class) and k nearest
+// misses (other class) and rewards features that differ across classes but
+// agree within a class. The paper uses the default k = 10 neighbours.
+type ReliefF struct {
+	// Neighbors is k; 0 means 10 (the paper's default).
+	Neighbors int
+	// Samples is the number of seed instances m; 0 means min(rows, 100).
+	Samples int
+}
+
+// Name implements Ranker.
+func (ReliefF) Name() string { return "ReliefF" }
+
+// Family implements Ranker.
+func (ReliefF) Family() budget.RankingFamily { return budget.RankReliefF }
+
+// Rank implements Ranker.
+func (r ReliefF) Rank(train *dataset.Dataset, rng *xrand.RNG) ([]float64, error) {
+	n, p := train.Rows(), train.Features()
+	if n == 0 {
+		return nil, fmt.Errorf("ranking: ReliefF on empty dataset")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ranking: ReliefF needs an RNG")
+	}
+	k := r.Neighbors
+	if k <= 0 {
+		k = 10
+	}
+	m := r.Samples
+	if m <= 0 || m > n {
+		m = n
+		if m > 100 {
+			m = 100
+		}
+	}
+
+	// Pre-split row indices by class.
+	byClass := [2][]int{}
+	for i, y := range train.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	if len(byClass[0]) == 0 || len(byClass[1]) == 0 {
+		return make([]float64, p), nil // single class: no signal
+	}
+
+	w := make([]float64, p)
+	seeds := rng.Sample(n, m)
+	for _, i := range seeds {
+		row := train.X.Row(i)
+		y := train.Y[i]
+		hits := nearestWithin(train, byClass[y], i, row, k)
+		misses := nearestWithin(train, byClass[1-y], i, row, k)
+		if len(hits) == 0 || len(misses) == 0 {
+			continue
+		}
+		for j := 0; j < p; j++ {
+			var hitDiff, missDiff float64
+			for _, h := range hits {
+				hitDiff += absDiff(row[j], train.X.At(h, j))
+			}
+			for _, ms := range misses {
+				missDiff += absDiff(row[j], train.X.At(ms, j))
+			}
+			w[j] += missDiff/float64(len(misses)) - hitDiff/float64(len(hits))
+		}
+	}
+	// Shift to non-negative scores preserving order.
+	lo := 0.0
+	for _, v := range w {
+		if v < lo {
+			lo = v
+		}
+	}
+	for j := range w {
+		w[j] -= lo
+	}
+	return w, nil
+}
+
+// nearestWithin returns up to k nearest rows (Manhattan) among candidates,
+// excluding self.
+func nearestWithin(d *dataset.Dataset, candidates []int, self int, row []float64, k int) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cs := make([]cand, 0, len(candidates))
+	for _, i := range candidates {
+		if i == self {
+			continue
+		}
+		cs = append(cs, cand{i, linalg.L1Dist(row, d.X.Row(i))})
+	}
+	if len(cs) == 0 {
+		return nil
+	}
+	// Partial selection sort for the k nearest (k is small).
+	if k > len(cs) {
+		k = len(cs)
+	}
+	out := make([]int, 0, k)
+	used := make([]bool, len(cs))
+	for sel := 0; sel < k; sel++ {
+		best := -1
+		for i, c := range cs {
+			if used[i] {
+				continue
+			}
+			if best < 0 || c.dist < cs[best].dist || (c.dist == cs[best].dist && c.idx < cs[best].idx) {
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, cs[best].idx)
+	}
+	return out
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

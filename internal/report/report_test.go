@@ -1,0 +1,189 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// fakeResults builds a deterministic Results without running the benchmark:
+// measured coverages mirror the paper's exactly, so every check must pass.
+func fakeResults() *Results {
+	t3 := &bench.Table3Result{}
+	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
+	for _, s := range names {
+		t3.Rows = append(t3.Rows, bench.Table3Row{
+			Strategy:    s,
+			HPOCoverage: bench.MeanStd{Mean: PaperHPOCoverage[s]},
+			HPOFastest:  bench.MeanStd{Mean: PaperHPOFastest[s]},
+		})
+	}
+	t3.Rows = append(t3.Rows, bench.Table3Row{
+		Strategy:    "DFS Optimizer",
+		HPOCoverage: bench.MeanStd{Mean: PaperHPOCoverage["DFS Optimizer"]},
+	})
+	t3.Rows = append(t3.Rows, bench.Table3Row{Strategy: "Oracle",
+		HPOCoverage: bench.MeanStd{Mean: 1}})
+
+	t5 := &bench.Table5Result{Coverage: map[string]map[string]float64{}}
+	for _, s := range names {
+		t5.Coverage[s] = PaperTable5[s]
+	}
+	t6 := &bench.Table6Result{Coverage: map[string]map[model.Kind]float64{}}
+	for _, s := range names {
+		t6.Coverage[s] = map[model.Kind]float64{
+			model.KindLR: PaperTable6[s]["LR"],
+			model.KindNB: PaperTable6[s]["NB"],
+			model.KindDT: PaperTable6[s]["DT"],
+		}
+	}
+	t7 := &bench.Table7Result{Rows: []bench.Table7Row{
+		{TargetModel: model.KindDT, MinAccuracy: bench.MeanStd{Mean: 0.93},
+			MinEO: bench.MeanStd{Mean: 0.95}, MinSafety: bench.MeanStd{Mean: 0.63}},
+		{TargetModel: model.KindNB, MinAccuracy: bench.MeanStd{Mean: 0.85},
+			MinEO: bench.MeanStd{Mean: 0.79}, MinSafety: bench.MeanStd{Mean: 0.67}},
+		{TargetModel: model.KindSVM, MinAccuracy: bench.MeanStd{Mean: 0.90},
+			MinEO: bench.MeanStd{Mean: 0.81}, MinSafety: bench.MeanStd{Mean: 0.88}},
+	}}
+	t8 := &bench.Table8Result{}
+	for k, add := range []string{"TPE(FCBF)", "SFFS(NR)", "TPE(NR)", "TPE(MIM)", "SA(NR)"} {
+		t8.CoverageSteps = append(t8.CoverageSteps, bench.Table8Row{
+			K: k + 1, Added: add, Achieved: bench.MeanStd{Mean: PaperTable8Coverage[k+1]},
+		})
+		t8.FastestSteps = append(t8.FastestSteps, bench.Table8Row{
+			K: k + 1, Added: add, Achieved: bench.MeanStd{Mean: PaperTable8Fastest[k+1]},
+		})
+	}
+	t9 := &bench.Table9Result{}
+	for _, s := range core.StrategyNames {
+		t9.Rows = append(t9.Rows, bench.Table9Row{Strategy: s,
+			F1: bench.MeanStd{Mean: PaperTable9F1[s]}})
+	}
+	t4 := &bench.Table4Result{}
+	for _, s := range names {
+		t4.Rows = append(t4.Rows, bench.Table4Row{Strategy: s,
+			DistanceVal:      bench.MeanStd{Mean: PaperTable4Distance[s]},
+			MeanNormalizedF1: bench.MeanStd{Mean: PaperTable4NormF1[s]}})
+	}
+	return &Results{
+		Table3: t3, Table4: t4, Table5: t5, Table6: t6, Table7: t7,
+		Table8: t8, Table9: t9,
+		Figure1: []bench.Figure1Point{
+			{Model: model.KindLR, F1: 0.7, EO: 0.9, SizeFrac: 0.2, Safety: 0.9},
+			{Model: model.KindLR, F1: 0.8, EO: 0.8, SizeFrac: 0.9, Safety: 0.4},
+		},
+		Figure4: &bench.Figure4Result{Datasets: []string{"COMPAS"},
+			Rows: []bench.Figure4Row{{Strategy: "SFS(NR)", Coverage: []float64{0.7}}}},
+		Figure5: &bench.Figure5Result{Pairs: map[string][]bench.Figure5Cell{
+			"EO": {{MinF1: 0.5, Threshold: 0.8, Winner: "TPE(Variance)"}},
+		}},
+		Scenarios: 100, Seed: 7, MaxEvals: 100,
+	}
+}
+
+func TestGenerateContainsAllSections(t *testing.T) {
+	doc := Generate(fakeResults())
+	for _, want := range []string{
+		"# EXPERIMENTS", "## Table 3", "## Table 4", "## Table 5", "## Table 6",
+		"## Table 7", "## Table 8", "## Table 9", "## Figure 1", "## Figure 4",
+		"## Figure 5", "## Agreement checklist",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("report missing section %q", want)
+		}
+	}
+}
+
+func TestChecksAllPassOnPaperNumbers(t *testing.T) {
+	checks := Checks(fakeResults())
+	if len(checks) < 6 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("check %q failed on paper-identical inputs: %s", c.Name, c.Detail)
+		}
+	}
+}
+
+func TestChecksFailOnInvertedCoverage(t *testing.T) {
+	r := fakeResults()
+	// Invert: baseline best, SFFS worst.
+	for i := range r.Table3.Rows {
+		row := &r.Table3.Rows[i]
+		switch row.Strategy {
+		case core.OriginalFeaturesName:
+			row.HPOCoverage.Mean = 0.99
+		case "SFS(NR)", "SFFS(NR)", "TPE(FCBF)", "TPE(Chi2)":
+			row.HPOCoverage.Mean = 0.01
+		case "SBS(NR)", "SBFS(NR)":
+			row.HPOCoverage.Mean = 0.90
+		}
+	}
+	checks := Checks(r)
+	failed := 0
+	for _, c := range checks {
+		if !c.Pass {
+			failed++
+		}
+	}
+	if failed < 2 {
+		t.Fatalf("inverted results only failed %d checks", failed)
+	}
+}
+
+func TestRankCorrelation(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	x := map[string]float64{"a": 1, "b": 2, "c": 3, "d": 4}
+	if rho := rankCorrelation(x, x, keys); rho != 1 {
+		t.Fatalf("self correlation %v", rho)
+	}
+	y := map[string]float64{"a": 4, "b": 3, "c": 2, "d": 1}
+	if rho := rankCorrelation(x, y, keys); rho != -1 {
+		t.Fatalf("inverted correlation %v", rho)
+	}
+	// Ties share average ranks and keep rho within [-1, 1].
+	z := map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1}
+	if rho := rankCorrelation(x, z, keys); rho < -1 || rho > 1 {
+		t.Fatalf("tie correlation %v", rho)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if p := pearson(x, []float64{2, 4, 6}); p < 0.999 {
+		t.Fatalf("perfect correlation %v", p)
+	}
+	if p := pearson(x, []float64{6, 4, 2}); p > -0.999 {
+		t.Fatalf("perfect anticorrelation %v", p)
+	}
+	if p := pearson(x, []float64{5, 5, 5}); p != 0 {
+		t.Fatalf("constant correlation %v", p)
+	}
+	if p := pearson([]float64{1}, []float64{1}); p != 0 {
+		t.Fatalf("single-point correlation %v", p)
+	}
+}
+
+func TestPaperConstantsCoverAllStrategies(t *testing.T) {
+	for _, s := range core.StrategyNames {
+		if _, ok := PaperHPOCoverage[s]; !ok {
+			t.Errorf("PaperHPOCoverage missing %s", s)
+		}
+		if _, ok := PaperHPOFastest[s]; !ok {
+			t.Errorf("PaperHPOFastest missing %s", s)
+		}
+		if _, ok := PaperTable5[s]; !ok {
+			t.Errorf("PaperTable5 missing %s", s)
+		}
+		if _, ok := PaperTable6[s]; !ok {
+			t.Errorf("PaperTable6 missing %s", s)
+		}
+		if _, ok := PaperTable9F1[s]; !ok {
+			t.Errorf("PaperTable9F1 missing %s", s)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package search implements the search drivers behind the 16 FS strategies
+// of §4.2: exhaustive enumeration, the sequential (floating) forward and
+// backward selections of Aha/Pudil, recursive feature elimination, the
+// tree-structured Parzen estimator of Bergstra et al. (both over a top-k cut
+// of a ranking and over the raw binary decision vector), Metropolis
+// simulated annealing, and the NSGA-II evolutionary multi-objective
+// optimizer of Deb et al.
+//
+// Drivers are decoupled from ML concerns: they optimize an Objective over
+// boolean feature masks. The objective is expected to return
+// budget.ErrExhausted when the search budget is spent; drivers propagate it.
+// A driver returns nil when it stopped because the objective signalled
+// success or because its search space/schedule was exhausted.
+package search
+
+import (
+	"errors"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+)
+
+// Objective scores a feature mask; lower is better (the DFS distance or
+// Eq. 2 objective).
+type Objective interface {
+	// NumFeatures returns the mask width.
+	NumFeatures() int
+	// Evaluate scores mask. stop=true tells the driver to terminate (a
+	// satisfying subset was confirmed). The error budget.ErrExhausted stops
+	// any driver.
+	Evaluate(mask []bool) (value float64, stop bool, err error)
+}
+
+// MultiObjective additionally exposes a vector of objectives (one per
+// constraint) for NSGA-II.
+type MultiObjective interface {
+	Objective
+	// NumObjectives returns the vector width.
+	NumObjectives() int
+	// EvaluateMulti scores mask on every objective (all minimized).
+	EvaluateMulti(mask []bool) (values []float64, stop bool, err error)
+}
+
+// done reports whether a driver should exit and with what verdict.
+func done(stop bool, err error) (bool, error) {
+	if err != nil {
+		if errors.Is(err, budget.ErrExhausted) {
+			return true, nil // budget exhaustion is a normal termination
+		}
+		return true, err
+	}
+	return stop, nil
+}
+
+// Exhaustive enumerates all non-empty feature subsets in ascending size
+// order (ES(NR)). Cheap small subsets are evaluated first, which is what
+// lets exhaustive search cover small-feature-set scenarios before the budget
+// runs out even on wide data.
+func Exhaustive(obj Objective) error {
+	p := obj.NumFeatures()
+	mask := make([]bool, p)
+	idx := make([]int, 0, p)
+	var rec func(start, remaining int) (bool, error)
+	rec = func(start, remaining int) (bool, error) {
+		if remaining == 0 {
+			_, stop, err := obj.Evaluate(mask)
+			return done(stop, err)
+		}
+		for j := start; j <= p-remaining; j++ {
+			mask[j] = true
+			idx = append(idx, j)
+			stop, err := rec(j+1, remaining-1)
+			mask[j] = false
+			idx = idx[:len(idx)-1]
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		return false, nil
+	}
+	for size := 1; size <= p; size++ {
+		stop, err := rec(0, size)
+		if stop || err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SequentialForward implements SFS(NR) and, with floating=true, the SFFS of
+// Pudil et al.: start empty, greedily add the feature that most improves the
+// objective; after each addition a floating pass removes features whose
+// removal improves the objective further.
+func SequentialForward(obj Objective, floating bool) error {
+	p := obj.NumFeatures()
+	mask := make([]bool, p)
+	current := 0.0
+	for size := 0; size < p; size++ {
+		bestJ, bestV := -1, 0.0
+		for j := 0; j < p; j++ {
+			if mask[j] {
+				continue
+			}
+			mask[j] = true
+			v, stop, err := obj.Evaluate(mask)
+			mask[j] = false
+			if stop, err := done(stop, err); stop || err != nil {
+				return err
+			}
+			if bestJ < 0 || v < bestV {
+				bestJ, bestV = j, v
+			}
+		}
+		if bestJ < 0 {
+			return nil
+		}
+		// Greedy even when not improving: constraints may need larger sets.
+		mask[bestJ] = true
+		current = bestV
+		if floating {
+			stop, err := floatRemove(obj, mask, &current)
+			if stop || err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// floatRemove repeatedly removes the feature whose removal improves the
+// objective, as long as at least two features remain selected.
+func floatRemove(obj Objective, mask []bool, current *float64) (bool, error) {
+	for {
+		selected := countMask(mask)
+		if selected <= 2 {
+			return false, nil
+		}
+		bestJ, bestV := -1, *current
+		for j := range mask {
+			if !mask[j] {
+				continue
+			}
+			mask[j] = false
+			v, stop, err := obj.Evaluate(mask)
+			mask[j] = true
+			if stop, err := done(stop, err); stop || err != nil {
+				return true, err
+			}
+			if v < bestV {
+				bestJ, bestV = j, v
+			}
+		}
+		if bestJ < 0 {
+			return false, nil
+		}
+		mask[bestJ] = false
+		*current = bestV
+	}
+}
+
+// SequentialBackward implements SBS(NR) and, with floating=true, SBFS:
+// start with all features, greedily remove the feature whose removal most
+// improves (least degrades) the objective; the floating pass re-adds
+// features when beneficial.
+func SequentialBackward(obj Objective, floating bool) error {
+	p := obj.NumFeatures()
+	mask := make([]bool, p)
+	for j := range mask {
+		mask[j] = true
+	}
+	current, stop, err := obj.Evaluate(mask)
+	if stop, err := done(stop, err); stop || err != nil {
+		return err
+	}
+	for countMask(mask) > 1 {
+		bestJ, bestV := -1, 0.0
+		firstCand := true
+		for j := 0; j < p; j++ {
+			if !mask[j] {
+				continue
+			}
+			mask[j] = false
+			v, stop, err := obj.Evaluate(mask)
+			mask[j] = true
+			if stop, err := done(stop, err); stop || err != nil {
+				return err
+			}
+			if firstCand || v < bestV {
+				bestJ, bestV = j, v
+				firstCand = false
+			}
+		}
+		if bestJ < 0 {
+			return nil
+		}
+		mask[bestJ] = false
+		current = bestV
+		if floating {
+			stop, err := floatAdd(obj, mask, &current)
+			if stop || err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// floatAdd re-adds previously removed features while doing so improves the
+// objective.
+func floatAdd(obj Objective, mask []bool, current *float64) (bool, error) {
+	p := len(mask)
+	for {
+		if countMask(mask) >= p-1 {
+			return false, nil
+		}
+		bestJ, bestV := -1, *current
+		for j := range mask {
+			if mask[j] {
+				continue
+			}
+			mask[j] = true
+			v, stop, err := obj.Evaluate(mask)
+			mask[j] = false
+			if stop, err := done(stop, err); stop || err != nil {
+				return true, err
+			}
+			if v < bestV {
+				bestJ, bestV = j, v
+			}
+		}
+		if bestJ < 0 {
+			return false, nil
+		}
+		mask[bestJ] = true
+		*current = bestV
+	}
+}
+
+// RFE implements recursive feature elimination (Guyon et al.): starting from
+// the full set, each round asks rank for importance scores of the currently
+// selected features (indexed in the full feature space) and removes the
+// least important one, evaluating each intermediate subset against the
+// objective.
+func RFE(obj Objective, rank func(mask []bool) ([]float64, error)) error {
+	p := obj.NumFeatures()
+	mask := make([]bool, p)
+	for j := range mask {
+		mask[j] = true
+	}
+	_, stop, err := obj.Evaluate(mask)
+	if stop, err := done(stop, err); stop || err != nil {
+		return err
+	}
+	for countMask(mask) > 1 {
+		scores, err := rank(mask)
+		if err != nil {
+			if errors.Is(err, budget.ErrExhausted) {
+				return nil
+			}
+			return err
+		}
+		worst, worstV := -1, 0.0
+		for j := 0; j < p; j++ {
+			if !mask[j] {
+				continue
+			}
+			if worst < 0 || scores[j] < worstV {
+				worst, worstV = j, scores[j]
+			}
+		}
+		mask[worst] = false
+		_, stop, err := obj.Evaluate(mask)
+		if stop, err := done(stop, err); stop || err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func countMask(mask []bool) int {
+	c := 0
+	for _, b := range mask {
+		if b {
+			c++
+		}
+	}
+	return c
+}

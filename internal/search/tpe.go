@@ -1,0 +1,353 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// TPEConfig tunes the tree-structured Parzen estimator drivers.
+type TPEConfig struct {
+	// StartupTrials is the number of initial random trials before the
+	// Parzen split kicks in; 0 means 8.
+	StartupTrials int
+	// Gamma is the good/bad quantile split; 0 means 0.25.
+	Gamma float64
+	// Candidates is the number of samples drawn from the good density per
+	// trial; 0 means 16.
+	Candidates int
+	// MaxTrials bounds the total number of evaluations; 0 means 10000 (the
+	// budget usually stops the search first).
+	MaxTrials int
+}
+
+func (c TPEConfig) withDefaults() TPEConfig {
+	if c.StartupTrials == 0 {
+		c.StartupTrials = 8
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.25
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 16
+	}
+	if c.MaxTrials == 0 {
+		c.MaxTrials = 10000
+	}
+	return c
+}
+
+type trialK struct {
+	k     int
+	value float64
+}
+
+// TPETopK optimizes the cut point k of a precomputed feature ranking with a
+// tree-structured Parzen estimator: observed trials are split into good and
+// bad by the objective, both sets are modelled with discrete Parzen windows
+// over k, and the next k maximizes the density ratio l(k)/g(k) — Bergstra's
+// EI surrogate. ranking lists feature indices from most to least relevant;
+// the mask evaluated for a given k selects ranking[:k].
+func TPETopK(obj Objective, ranking []int, cfg TPEConfig, rng *xrand.RNG) error {
+	cfg = cfg.withDefaults()
+	p := obj.NumFeatures()
+	maxK := len(ranking)
+	if maxK == 0 {
+		return nil
+	}
+	evalK := func(k int) (float64, bool, error) {
+		mask := make([]bool, p)
+		for _, j := range ranking[:k] {
+			mask[j] = true
+		}
+		return obj.Evaluate(mask)
+	}
+
+	var history []trialK
+	seen := make(map[int]bool)
+	for trial := 0; trial < cfg.MaxTrials; trial++ {
+		var k int
+		if len(history) < cfg.StartupTrials {
+			k = 1 + rng.Intn(maxK)
+		} else {
+			k = proposeK(history, maxK, cfg, rng)
+		}
+		if seen[k] && len(seen) < maxK {
+			// Nudge to an unseen k deterministically.
+			for delta := 1; delta < maxK; delta++ {
+				if k+delta <= maxK && !seen[k+delta] {
+					k += delta
+					break
+				}
+				if k-delta >= 1 && !seen[k-delta] {
+					k -= delta
+					break
+				}
+			}
+		}
+		seen[k] = true
+		v, stop, err := evalK(k)
+		if stop, err := done(stop, err); stop || err != nil {
+			return err
+		}
+		history = append(history, trialK{k, v})
+		if len(seen) == maxK {
+			return nil // every cut evaluated
+		}
+	}
+	return nil
+}
+
+// proposalWindow bounds the history a proposal step models; keeping only
+// the most recent trials keeps the per-trial cost constant (the full history
+// would make long runs quadratic) while staying adaptive.
+const proposalWindow = 512
+
+// proposeK samples candidate cuts from the good-trial Parzen mixture and
+// returns the one with the highest l/g density ratio.
+func proposeK(history []trialK, maxK int, cfg TPEConfig, rng *xrand.RNG) int {
+	if len(history) > proposalWindow {
+		history = history[len(history)-proposalWindow:]
+	}
+	sorted := append([]trialK(nil), history...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].value < sorted[b].value })
+	nGood := int(cfg.Gamma * float64(len(sorted)))
+	if nGood < 1 {
+		nGood = 1
+	}
+	good, bad := sorted[:nGood], sorted[nGood:]
+
+	bandwidth := float64(maxK) / 10
+	if bandwidth < 1 {
+		bandwidth = 1
+	}
+	density := func(set []trialK, k int) float64 {
+		// Parzen mixture of discretized Gaussians plus a uniform prior.
+		d := 1.0 / float64(maxK)
+		for _, t := range set {
+			z := float64(k-t.k) / bandwidth
+			d += math.Exp(-0.5 * z * z)
+		}
+		return d / float64(len(set)+1)
+	}
+	bestK, bestRatio := 1, math.Inf(-1)
+	for c := 0; c < cfg.Candidates; c++ {
+		var k int
+		if len(good) > 0 && rng.Bool(0.8) {
+			t := good[rng.Intn(len(good))]
+			k = t.k + int(math.Round(rng.Normal(0, bandwidth)))
+		} else {
+			k = 1 + rng.Intn(maxK)
+		}
+		if k < 1 {
+			k = 1
+		}
+		if k > maxK {
+			k = maxK
+		}
+		ratio := density(good, k)
+		if len(bad) > 0 {
+			ratio /= density(bad, k)
+		}
+		if ratio > bestRatio {
+			bestK, bestRatio = k, ratio
+		}
+	}
+	return bestK
+}
+
+type trialMask struct {
+	mask  []bool
+	value float64
+}
+
+// TPEBinary optimizes the raw binary decision vector (TPE(NR)): each feature
+// is an independent Bernoulli whose good/bad densities come from the
+// observed trials, candidates are sampled from the good distribution, and
+// the candidate with the highest likelihood ratio is evaluated next.
+func TPEBinary(obj Objective, cfg TPEConfig, rng *xrand.RNG) error {
+	cfg = cfg.withDefaults()
+	p := obj.NumFeatures()
+	if p == 0 {
+		return nil
+	}
+	var history []trialMask
+	seen := make(map[string]bool)
+	key := func(m []bool) string {
+		b := make([]byte, p)
+		for j, v := range m {
+			if v {
+				b[j] = '1'
+			} else {
+				b[j] = '0'
+			}
+		}
+		return string(b)
+	}
+	for trial := 0; trial < cfg.MaxTrials; trial++ {
+		var mask []bool
+		if len(history) < cfg.StartupTrials {
+			mask = randomNonEmptyMask(p, rng)
+		} else {
+			mask = proposeMask(history, p, cfg, rng)
+		}
+		// Never waste budget on a duplicate: perturb until unseen, falling
+		// back to pure exploration.
+		for tries := 0; seen[key(mask)] && tries < 4*p; tries++ {
+			j := rng.Intn(p)
+			mask[j] = !mask[j]
+			if countMask(mask) == 0 {
+				mask[j] = true
+			}
+		}
+		if seen[key(mask)] {
+			mask = randomNonEmptyMask(p, rng)
+		}
+		seen[key(mask)] = true
+		v, stop, err := obj.Evaluate(mask)
+		if stop, err := done(stop, err); stop || err != nil {
+			return err
+		}
+		history = append(history, trialMask{append([]bool(nil), mask...), v})
+	}
+	return nil
+}
+
+func randomNonEmptyMask(p int, rng *xrand.RNG) []bool {
+	mask := make([]bool, p)
+	any := false
+	for j := range mask {
+		if rng.Bool(0.5) {
+			mask[j] = true
+			any = true
+		}
+	}
+	if !any {
+		mask[rng.Intn(p)] = true
+	}
+	return mask
+}
+
+// proposeMask scores candidate masks by the per-bit Bernoulli likelihood
+// ratio between good and bad trials (with add-one smoothing).
+func proposeMask(history []trialMask, p int, cfg TPEConfig, rng *xrand.RNG) []bool {
+	if len(history) > proposalWindow {
+		history = history[len(history)-proposalWindow:]
+	}
+	sorted := append([]trialMask(nil), history...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].value < sorted[b].value })
+	nGood := int(cfg.Gamma * float64(len(sorted)))
+	if nGood < 1 {
+		nGood = 1
+	}
+	good, bad := sorted[:nGood], sorted[nGood:]
+
+	pGood := bernoulliRates(good, p)
+	pBad := bernoulliRates(bad, p)
+
+	var best []bool
+	bestScore := math.Inf(-1)
+	for c := 0; c < cfg.Candidates; c++ {
+		mask := make([]bool, p)
+		any := false
+		for j := 0; j < p; j++ {
+			if rng.Bool(pGood[j]) {
+				mask[j] = true
+				any = true
+			}
+		}
+		if !any {
+			mask[rng.Intn(p)] = true
+		}
+		score := 0.0
+		for j := 0; j < p; j++ {
+			pg, pb := pGood[j], pBad[j]
+			if mask[j] {
+				score += math.Log(pg / pb)
+			} else {
+				score += math.Log((1 - pg) / (1 - pb))
+			}
+		}
+		if score > bestScore {
+			best, bestScore = mask, score
+		}
+	}
+	return best
+}
+
+func bernoulliRates(set []trialMask, p int) []float64 {
+	rates := make([]float64, p)
+	for j := 0; j < p; j++ {
+		on := 1.0 // add-one smoothing
+		for _, t := range set {
+			if t.mask[j] {
+				on++
+			}
+		}
+		rates[j] = on / (float64(len(set)) + 2)
+	}
+	return rates
+}
+
+// SAConfig tunes simulated annealing.
+type SAConfig struct {
+	// InitialTemp is T₀; 0 means 1.
+	InitialTemp float64
+	// Cooling is the geometric factor per iteration; 0 means 0.97.
+	Cooling float64
+	// MaxIters bounds the schedule; 0 means 10000.
+	MaxIters int
+}
+
+func (c SAConfig) withDefaults() SAConfig {
+	if c.InitialTemp == 0 {
+		c.InitialTemp = 1
+	}
+	if c.Cooling == 0 {
+		c.Cooling = 0.97
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 10000
+	}
+	return c
+}
+
+// SimulatedAnnealing optimizes the binary decision vector with Metropolis
+// acceptance and a geometric cooling schedule (SA(NR)).
+func SimulatedAnnealing(obj Objective, cfg SAConfig, rng *xrand.RNG) error {
+	cfg = cfg.withDefaults()
+	p := obj.NumFeatures()
+	if p == 0 {
+		return nil
+	}
+	mask := randomNonEmptyMask(p, rng)
+	current, stop, err := obj.Evaluate(mask)
+	if stop, err := done(stop, err); stop || err != nil {
+		return err
+	}
+	temp := cfg.InitialTemp
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		j := rng.Intn(p)
+		mask[j] = !mask[j]
+		if countMask(mask) == 0 {
+			mask[j] = true
+			continue
+		}
+		v, stop, err := obj.Evaluate(mask)
+		if stop, err := done(stop, err); stop || err != nil {
+			return err
+		}
+		accept := v <= current
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp(-(v-current)/temp)
+		}
+		if accept {
+			current = v
+		} else {
+			mask[j] = !mask[j] // revert
+		}
+		temp *= cfg.Cooling
+	}
+	return nil
+}

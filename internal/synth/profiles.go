@@ -1,0 +1,212 @@
+package synth
+
+import "fmt"
+
+// profiles mirrors the paper's Table 2. Nominal dimensions are the published
+// instance/feature counts (they drive the simulated cost model); materialized
+// dimensions are capped so the benchmark runs on a laptop. Structural knobs
+// encode what §6.3 reports about each dataset: "few critical features" for
+// IPUMS Census, COMPAS, Titanic, and German Credit (forward selection wins
+// there), a predominantly categorical Adult (χ² regime), strong bias leakage
+// on the fairness-sensitive datasets, and class imbalance where the original
+// data is imbalanced.
+var profiles = []Profile{
+	{
+		Name: "Traffic Violations", SensitiveName: "Race",
+		NominalRows: 1578154, NominalAttributes: 34, NominalFeatures: 2075,
+		Rows: 600, NumericInformative: 4, NumericRedundant: 8, NumericNoise: 10,
+		CatInformative: 4, CatNoise: 4, Cardinality: 4,
+		MinorityFrac: 0.30, GroupGap: 0.8, LeakFrac: 0.5, BiasLeak: 0.8,
+		PosRate: 0.45, LabelNoise: 0.05, MissingRate: 0.04,
+		IncludeSensitiveFeature: true, Seed: 0x1001,
+	},
+	{
+		Name: "AirlinesCodrnaAdult", SensitiveName: "Gender",
+		NominalRows: 1076790, NominalAttributes: 30, NominalFeatures: 746,
+		Rows: 600, NumericInformative: 5, NumericRedundant: 10, NumericNoise: 15,
+		CatInformative: 3, CatNoise: 2, Cardinality: 4,
+		MinorityFrac: 0.45, GroupGap: 0.5, LeakFrac: 0.3, BiasLeak: 0.5,
+		PosRate: 0.42, LabelNoise: 0.06, MissingRate: 0.02,
+		IncludeSensitiveFeature: true, Seed: 0x1002,
+	},
+	{
+		Name: "Adult", SensitiveName: "Gender",
+		NominalRows: 48842, NominalAttributes: 15, NominalFeatures: 108,
+		Rows: 600, NumericInformative: 3, NumericRedundant: 2, NumericNoise: 3,
+		CatInformative: 7, CatNoise: 3, Cardinality: 4,
+		MinorityFrac: 0.33, GroupGap: 0.9, LeakFrac: 0.4, BiasLeak: 0.7,
+		PosRate: 0.24, LabelNoise: 0.04, MissingRate: 0.03,
+		IncludeSensitiveFeature: true, Seed: 0x1003,
+	},
+	{
+		Name: "KDD Internet Usage", SensitiveName: "Gender",
+		NominalRows: 10108, NominalAttributes: 69, NominalFeatures: 526,
+		Rows: 600, NumericInformative: 6, NumericRedundant: 12, NumericNoise: 18,
+		CatInformative: 3, CatNoise: 2, Cardinality: 4,
+		MinorityFrac: 0.40, GroupGap: 0.4, LeakFrac: 0.3, BiasLeak: 0.4,
+		PosRate: 0.40, LabelNoise: 0.05, MissingRate: 0.05,
+		IncludeSensitiveFeature: true, Seed: 0x1004,
+	},
+	{
+		Name: "IPUMS Census", SensitiveName: "Gender",
+		NominalRows: 8844, NominalAttributes: 57, NominalFeatures: 274,
+		Rows: 600, NumericInformative: 2, NumericRedundant: 6, NumericNoise: 20,
+		CatInformative: 3, CatNoise: 3, Cardinality: 4,
+		MinorityFrac: 0.48, GroupGap: 0.6, LeakFrac: 0.5, BiasLeak: 0.6,
+		PosRate: 0.35, LabelNoise: 0.04, MissingRate: 0.03,
+		IncludeSensitiveFeature: true, Seed: 0x1005,
+	},
+	{
+		Name: "Telco Customer Churn", SensitiveName: "Gender",
+		NominalRows: 7043, NominalAttributes: 20, NominalFeatures: 45,
+		Rows: 600, NumericInformative: 4, NumericRedundant: 4, NumericNoise: 5,
+		CatInformative: 4, CatNoise: 2, Cardinality: 4,
+		MinorityFrac: 0.50, GroupGap: 0.2, LeakFrac: 0.2, BiasLeak: 0.3,
+		PosRate: 0.27, LabelNoise: 0.05, MissingRate: 0.01,
+		IncludeSensitiveFeature: true, Seed: 0x1006,
+	},
+	{
+		Name: "COMPAS", SensitiveName: "Race",
+		NominalRows: 5278, NominalAttributes: 14, NominalFeatures: 19,
+		Rows: 600, NumericInformative: 3, NumericRedundant: 2, NumericNoise: 4,
+		CatInformative: 2, CatNoise: 0, Cardinality: 4,
+		MinorityFrac: 0.40, GroupGap: 1.0, LeakFrac: 0.6, BiasLeak: 1.0,
+		PosRate: 0.45, LabelNoise: 0.06, MissingRate: 0.01,
+		IncludeSensitiveFeature: true, Seed: 0x1007,
+	},
+	{
+		Name: "Students", SensitiveName: "Gender",
+		NominalRows: 3892, NominalAttributes: 35, NominalFeatures: 39,
+		Rows: 600, NumericInformative: 4, NumericRedundant: 5, NumericNoise: 8,
+		CatInformative: 3, CatNoise: 2, Cardinality: 4,
+		MinorityFrac: 0.47, GroupGap: 0.3, LeakFrac: 0.25, BiasLeak: 0.4,
+		PosRate: 0.50, LabelNoise: 0.05, MissingRate: 0.02,
+		IncludeSensitiveFeature: true, Seed: 0x1008,
+	},
+	{
+		Name: "Thyroid Disease", SensitiveName: "Gender",
+		NominalRows: 3772, NominalAttributes: 30, NominalFeatures: 54,
+		Rows: 600, NumericInformative: 5, NumericRedundant: 6, NumericNoise: 15,
+		CatInformative: 4, CatNoise: 3, Cardinality: 4,
+		MinorityFrac: 0.34, GroupGap: 0.3, LeakFrac: 0.2, BiasLeak: 0.3,
+		PosRate: 0.10, LabelNoise: 0.02, MissingRate: 0.04,
+		IncludeSensitiveFeature: true, Seed: 0x1009,
+	},
+	{
+		Name: "Primary Biliary Cirrhosis", SensitiveName: "Gender",
+		NominalRows: 1945, NominalAttributes: 19, NominalFeatures: 723,
+		Rows: 600, NumericInformative: 4, NumericRedundant: 10, NumericNoise: 16,
+		CatInformative: 3, CatNoise: 2, Cardinality: 4,
+		MinorityFrac: 0.12, GroupGap: 0.4, LeakFrac: 0.3, BiasLeak: 0.5,
+		PosRate: 0.40, LabelNoise: 0.05, MissingRate: 0.06,
+		IncludeSensitiveFeature: true, Seed: 0x100a,
+	},
+	{
+		Name: "Titanic", SensitiveName: "Gender",
+		NominalRows: 1309, NominalAttributes: 12, NominalFeatures: 422,
+		Rows: 600, NumericInformative: 2, NumericRedundant: 3, NumericNoise: 7,
+		CatInformative: 2, CatNoise: 2, Cardinality: 5,
+		MinorityFrac: 0.36, GroupGap: 1.4, LeakFrac: 0.5, BiasLeak: 1.2,
+		PosRate: 0.38, LabelNoise: 0.03, MissingRate: 0.08,
+		IncludeSensitiveFeature: true, Seed: 0x100b,
+	},
+	{
+		Name: "Social Mobility", SensitiveName: "Race",
+		NominalRows: 1156, NominalAttributes: 6, NominalFeatures: 39,
+		Rows: 578, NumericInformative: 3, NumericRedundant: 4, NumericNoise: 6,
+		CatInformative: 3, CatNoise: 1, Cardinality: 6,
+		MinorityFrac: 0.25, GroupGap: 0.7, LeakFrac: 0.4, BiasLeak: 0.8,
+		PosRate: 0.45, LabelNoise: 0.05, MissingRate: 0.02,
+		IncludeSensitiveFeature: true, Seed: 0x100c,
+	},
+	{
+		Name: "German Credit", SensitiveName: "Nationality",
+		NominalRows: 1000, NominalAttributes: 21, NominalFeatures: 61,
+		Rows: 500, NumericInformative: 2, NumericRedundant: 4, NumericNoise: 9,
+		CatInformative: 4, CatNoise: 2, Cardinality: 7,
+		MinorityFrac: 0.15, GroupGap: 0.6, LeakFrac: 0.5, BiasLeak: 0.7,
+		PosRate: 0.30, LabelNoise: 0.06, MissingRate: 0.01,
+		IncludeSensitiveFeature: true, Seed: 0x100d,
+	},
+	{
+		Name: "Indian Liver Patient", SensitiveName: "Gender",
+		NominalRows: 583, NominalAttributes: 11, NominalFeatures: 11,
+		Rows: 583, NumericInformative: 3, NumericRedundant: 2, NumericNoise: 4,
+		CatInformative: 0, CatNoise: 0, Cardinality: 0,
+		MinorityFrac: 0.24, GroupGap: 0.3, LeakFrac: 0.3, BiasLeak: 0.4,
+		PosRate: 0.29, LabelNoise: 0.06, MissingRate: 0.01,
+		IncludeSensitiveFeature: true, Seed: 0x100e,
+	},
+	{
+		Name: "Irish Educational Transitions", SensitiveName: "Gender",
+		NominalRows: 500, NominalAttributes: 6, NominalFeatures: 18,
+		Rows: 500, NumericInformative: 2, NumericRedundant: 3, NumericNoise: 5,
+		CatInformative: 1, CatNoise: 1, Cardinality: 3,
+		MinorityFrac: 0.49, GroupGap: 0.4, LeakFrac: 0.3, BiasLeak: 0.5,
+		PosRate: 0.44, LabelNoise: 0.04, MissingRate: 0.01,
+		IncludeSensitiveFeature: true, Seed: 0x100f,
+	},
+	{
+		Name: "Arrhythmia", SensitiveName: "Gender",
+		NominalRows: 452, NominalAttributes: 280, NominalFeatures: 334,
+		Rows: 452, NumericInformative: 6, NumericRedundant: 20, NumericNoise: 28,
+		CatInformative: 1, CatNoise: 0, Cardinality: 4,
+		MinorityFrac: 0.45, GroupGap: 0.3, LeakFrac: 0.2, BiasLeak: 0.3,
+		PosRate: 0.45, LabelNoise: 0.05, MissingRate: 0.03,
+		IncludeSensitiveFeature: true, Seed: 0x1010,
+	},
+	{
+		Name: "Brazil Tourism", SensitiveName: "Gender",
+		NominalRows: 412, NominalAttributes: 9, NominalFeatures: 22,
+		Rows: 412, NumericInformative: 2, NumericRedundant: 3, NumericNoise: 5,
+		CatInformative: 2, CatNoise: 0, Cardinality: 5,
+		MinorityFrac: 0.42, GroupGap: 0.3, LeakFrac: 0.3, BiasLeak: 0.4,
+		PosRate: 0.40, LabelNoise: 0.05, MissingRate: 0.02,
+		IncludeSensitiveFeature: true, Seed: 0x1011,
+	},
+	{
+		Name: "Primary Tumor", SensitiveName: "Gender",
+		NominalRows: 339, NominalAttributes: 18, NominalFeatures: 41,
+		Rows: 339, NumericInformative: 3, NumericRedundant: 4, NumericNoise: 8,
+		CatInformative: 4, CatNoise: 2, Cardinality: 4,
+		MinorityFrac: 0.45, GroupGap: 0.3, LeakFrac: 0.25, BiasLeak: 0.4,
+		PosRate: 0.25, LabelNoise: 0.05, MissingRate: 0.04,
+		IncludeSensitiveFeature: true, Seed: 0x1012,
+	},
+	{
+		Name: "Diabetic Mellitus", SensitiveName: "Gender",
+		NominalRows: 281, NominalAttributes: 98, NominalFeatures: 98,
+		Rows: 281, NumericInformative: 5, NumericRedundant: 15, NumericNoise: 24,
+		CatInformative: 2, CatNoise: 1, Cardinality: 4,
+		MinorityFrac: 0.40, GroupGap: 0.3, LeakFrac: 0.2, BiasLeak: 0.4,
+		PosRate: 0.35, LabelNoise: 0.05, MissingRate: 0.05,
+		IncludeSensitiveFeature: true, Seed: 0x1013,
+	},
+}
+
+// Profiles returns copies of all 19 benchmark dataset profiles in the order
+// of the paper's Table 2 (descending instance count).
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ByName returns the profile with the given Table 2 name.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown dataset profile %q", name)
+}
+
+// Names lists all profile names in benchmark order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package xrand provides the deterministic random number generation used by
+// every stochastic component of the DFS system: synthetic data generation,
+// dataset splitting, randomized search strategies (TPE, simulated annealing,
+// NSGA-II), ReliefF instance sampling, the evasion attack, differential
+// privacy noise, and the constraint-space fuzzer.
+//
+// All randomness flows through explicitly seeded *RNG values so that every
+// experiment in the benchmark is reproducible bit-for-bit. RNG implements a
+// splittable PCG-style generator: child streams derived with Split are
+// statistically independent of the parent, which lets concurrent benchmark
+// runners share a single root seed without coordinating.
+package xrand
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on the PCG-XSH-RR
+// construction (O'Neill, 2014) with a 64-bit state and 64-bit stream selector.
+// The zero value is not usable; construct with New or Split.
+type RNG struct {
+	state uint64
+	inc   uint64
+
+	// cached spare normal variate for the Marsaglia polar method.
+	hasSpare bool
+	spare    float64
+}
+
+const (
+	pcgMultiplier = 6364136223846793005
+	mixMultiplier = 0x9e3779b97f4a7c15
+)
+
+// New returns an RNG seeded from seed on the default stream.
+func New(seed uint64) *RNG {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns an RNG seeded from seed on the given stream. Distinct
+// streams with the same seed produce independent sequences.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = 0
+	r.Uint64()
+	r.state += mix(seed)
+	r.Uint64()
+	return r
+}
+
+// mix is the splitmix64 finalizer; it decorrelates closely spaced seeds.
+func mix(z uint64) uint64 {
+	z += mixMultiplier
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child generator. The parent advances by one
+// step; the child's stream is derived from the drawn value so that repeated
+// Split calls yield distinct streams.
+func (r *RNG) Split() *RNG {
+	s := r.Uint64()
+	return NewStream(mix(s), mix(s^0xa5a5a5a5a5a5a5a5))
+}
+
+// Uint64 returns the next 64 bits, composed of two PCG-XSH-RR 32-bit outputs.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.next32())<<32 | uint64(r.next32())
+}
+
+func (r *RNG) next32() uint32 {
+	old := r.state
+	r.state = old*pcgMultiplier + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, 64-bit.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal variate via the Marsaglia polar method.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s == 0 || s >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// LogNormal returns exp(Normal(mu, sigma)); the paper samples the privacy
+// budget ε from LogNormal(0, 1) (Listing 1).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Laplace returns a Laplace(0, scale) variate; the differential privacy
+// mechanisms calibrate scale to sensitivity/ε.
+func (r *RNG) Laplace(scale float64) float64 {
+	u := r.Float64() - 0.5
+	if u < 0 {
+		return scale * math.Log(1+2*u)
+	}
+	return -scale * math.Log(1-2*u)
+}
+
+// Exponential returns an Exponential(rate) variate.
+func (r *RNG) Exponential(rate float64) float64 {
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Choice returns a uniform index weighted by the non-negative weights. If all
+// weights are zero it falls back to a uniform draw. It panics on empty input.
+func (r *RNG) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("xrand: Choice with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("xrand: Sample k out of range")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}

@@ -1,0 +1,267 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1, c2 := root.Split(), root.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first draw")
+	}
+	// Splitting must not depend on later parent usage.
+	rootA := New(9)
+	childA := rootA.Split()
+	rootB := New(9)
+	childB := rootB.Split()
+	for i := 0; i < 100; i++ {
+		if childA.Uint64() != childB.Uint64() {
+			t.Fatal("split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	if err := quick.Check(func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(8)
+	const buckets, n = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(17)
+	const n, scale = 200000, 2.0
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Laplace(scale)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	if math.Abs(sum/n) > 0.03 {
+		t.Fatalf("laplace mean %v too far from 0", sum/n)
+	}
+	// E|X| = scale for Laplace(0, scale).
+	if math.Abs(sumAbs/n-scale) > 0.05 {
+		t.Fatalf("laplace E|X| = %v, want ~%v", sumAbs/n, scale)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("lognormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(23)
+	const n, rate = 100000, 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(rate)
+	}
+	if math.Abs(sum/n-1/rate) > 0.01 {
+		t.Fatalf("exponential mean %v, want ~%v", sum/n, 1/rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoiceWeighted(t *testing.T) {
+	r := New(31)
+	counts := [3]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[r.Choice([]float64{1, 2, 3})]++
+	}
+	for i, want := range []float64{n / 6.0, n / 3.0, n / 2.0} {
+		if math.Abs(float64(counts[i])-want) > 0.08*want {
+			t.Fatalf("choice bucket %d count %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestChoiceZeroWeightNeverPicked(t *testing.T) {
+	r := New(37)
+	for i := 0; i < 5000; i++ {
+		if r.Choice([]float64{0, 1, 0}) != 1 {
+			t.Fatal("picked zero-weight entry")
+		}
+	}
+}
+
+func TestChoiceAllZeroFallsBackUniform(t *testing.T) {
+	r := New(41)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Choice([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("uniform fallback covered %d/3 buckets", len(seen))
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(43)
+	s := r.Sample(10, 5)
+	if len(s) != 5 {
+		t.Fatalf("Sample length %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(47)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(53)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", float64(hits)/n)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Norm()
+	}
+}
