@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all vet build test race bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: vet build race

@@ -17,11 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/declarative-fs/dfs/internal/bench"
@@ -56,9 +60,17 @@ func main() {
 		cfg.Datasets = synth.Names()
 	}
 
-	r := &runner{cfg: cfg, outDir: *outDir, grid: *grid, figure1N: *figure1N, seed: *seed}
+	// SIGINT/SIGTERM cancel in-flight pools at their next budget charge;
+	// buildPool then flushes whatever completed instead of losing the run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r := &runner{ctx: ctx, cfg: cfg, outDir: *outDir, grid: *grid, figure1N: *figure1N, seed: *seed}
 	if err := r.run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if *reportPath != "" {
@@ -83,12 +95,19 @@ func (r *runner) dumpPool(path string) error {
 	if err != nil {
 		return err
 	}
+	return writePoolFile(path, hpo)
+}
+
+// writePoolFile writes a pool CSV, closing the file exactly once and
+// reporting the first failure (a close error is a write error on buffered
+// filesystems).
+func writePoolFile(path string, p *bench.Pool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := bench.WritePoolCSV(f, hpo); err != nil {
+	if err := bench.WritePoolCSV(f, p); err != nil {
+		f.Close()
 		return err
 	}
 	return f.Close()
@@ -149,7 +168,12 @@ func (r *runner) writeReport(path string) error {
 	return os.WriteFile(path, []byte(doc), 0o644)
 }
 
+// errInterrupted reports that a signal canceled a pool build; partial
+// results were already flushed, and main converts it to exit status 130.
+var errInterrupted = errors.New("interrupted by signal")
+
 type runner struct {
+	ctx      context.Context
 	cfg      bench.Config
 	outDir   string
 	grid     int
@@ -358,13 +382,48 @@ func (r *runner) buildPool(label string, cfg bench.Config) (*bench.Pool, error) 
 	fmt.Fprintf(os.Stderr, "# building %s pool: %d scenarios on %d datasets...\n",
 		label, cfg.Scenarios, len(cfg.Datasets))
 	start := time.Now()
-	p, err := bench.BuildPool(cfg)
+	ctx := r.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := bench.BuildPoolContext(ctx, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if p.Interrupted {
+		if err := r.flushInterrupted(label, cfg, p); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+		}
+		return nil, fmt.Errorf("%s pool: %w", label, errInterrupted)
 	}
 	fmt.Fprintf(os.Stderr, "# %s pool done in %s (%d/%d satisfiable)\n",
 		label, time.Since(start).Round(time.Millisecond), len(p.SatisfiableIDs()), cfg.Scenarios)
 	return p, nil
+}
+
+// flushInterrupted saves whatever a canceled pool build completed — the
+// partial pool CSV plus an interruption note — to -out (stderr-only when
+// -out is unset), so hitting Ctrl-C does not lose the run.
+func (r *runner) flushInterrupted(label string, cfg bench.Config, p *bench.Pool) error {
+	note := fmt.Sprintf("pool interrupted after %d/%d scenarios", len(p.Records), cfg.Scenarios)
+	fmt.Fprintf(os.Stderr, "# %s: %s\n", label, note)
+	if r.outDir == "" {
+		fmt.Fprintln(os.Stderr, "# no -out directory; partial results discarded")
+		return nil
+	}
+	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+		return err
+	}
+	csvPath := filepath.Join(r.outDir, label+"-pool-partial.csv")
+	if err := writePoolFile(csvPath, p); err != nil {
+		return err
+	}
+	notePath := filepath.Join(r.outDir, label+"-pool-interrupted.txt")
+	if err := os.WriteFile(notePath, []byte(note+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# flushed partial pool to %s\n", csvPath)
+	return nil
 }
 
 func (r *runner) emit(name, title, body string) error {

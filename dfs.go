@@ -31,6 +31,8 @@
 package dfs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -153,7 +155,49 @@ type Selection struct {
 	// BestDistance is the closest any candidate came to satisfying the
 	// constraints (Eq. 1), when Satisfied is false.
 	BestDistance float64
+	// Report holds the per-strategy outcomes of a portfolio run, in the
+	// requested strategy order — including failed members, which no longer
+	// sink the portfolio (see RunPortfolioContext). Nil for single-strategy
+	// runs.
+	Report []StrategyReport
 }
+
+// StrategyStatus classifies one portfolio member's outcome.
+type StrategyStatus string
+
+// Portfolio member outcomes.
+const (
+	// StrategySatisfied means the member confirmed a satisfying selection.
+	StrategySatisfied StrategyStatus = "satisfied"
+	// StrategyUnsatisfied means the member completed without a satisfying
+	// selection (budget exhausted or search space exhausted).
+	StrategyUnsatisfied StrategyStatus = "unsatisfied"
+	// StrategyFailed means the member died — panic, corrupted data, or a
+	// transient failure that outlived its retries — and was excluded from
+	// the portfolio decision.
+	StrategyFailed StrategyStatus = "failed"
+)
+
+// StrategyReport is one portfolio member's outcome: enough to alert on
+// partial degradation even when the portfolio as a whole succeeded.
+type StrategyReport struct {
+	// Strategy is the member's strategy name.
+	Strategy string
+	// Status classifies the outcome.
+	Status StrategyStatus
+	// Cost is the search cost the member spent (cost at solution when
+	// satisfied, total otherwise; zero when the member failed before
+	// running).
+	Cost float64
+	// Err is the failure when Status is StrategyFailed; errors.As with a
+	// *StrategyError target recovers the attribution (and, for isolated
+	// panics, the stack).
+	Err error
+}
+
+// StrategyError is the typed failure of one strategy run: the strategy name,
+// the cause, and — for panics recovered by the execution layer — the stack.
+type StrategyError = core.StrategyError
 
 type options struct {
 	strategy  string
@@ -237,25 +281,41 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// newStrategy builds a strategy by name; tests swap it to inject faults into
+// otherwise-opaque portfolio members.
+var newStrategy = core.New
+
 // Select searches for one feature subset of d that satisfies cs when
 // training the given model family, following the DFS workflow of the paper:
 // stratified 3:1:1 split, wrapper evaluation with the Eq. 1 distance
 // objective, validation-then-test confirmation.
 func Select(d *Dataset, kind ModelKind, cs Constraints, opts ...Option) (*Selection, error) {
+	return SelectContext(context.Background(), d, kind, cs, opts...)
+}
+
+// SelectContext is Select with cancellation: the search stops at the next
+// budget charge point once ctx is done (well under one subset evaluation)
+// and returns ctx.Err(). The run is panic-isolated — a dying strategy
+// surfaces as a *StrategyError, never a process crash — and failures
+// classified transient (degenerate resampled splits, singular-matrix
+// rankings) are retried a bounded number of times under deterministically
+// perturbed seeds. With no faults injected and the same seed, the result is
+// identical to Select's.
+func SelectContext(ctx context.Context, d *Dataset, kind ModelKind, cs Constraints, opts ...Option) (*Selection, error) {
 	o := buildOptions(opts)
 	scn, err := newScenario(d, kind, cs, o)
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.New(o.strategy)
+	s, err := newStrategy(o.strategy)
 	if err != nil {
 		return nil, err
 	}
 	var res core.RunResult
 	if o.wallClock > 0 {
-		res, err = core.RunStrategyWithMeter(s, scn, budget.NewWall(o.wallClock), o.seed, o.maxEvals)
+		res, err = core.RunStrategyWithMeterContext(ctx, s, scn, budget.NewWall(o.wallClock), o.seed, o.maxEvals)
 	} else {
-		res, err = core.RunStrategy(s, scn, o.seed, o.maxEvals)
+		res, err = core.RunStrategyContext(ctx, s, scn, o.seed, o.maxEvals)
 	}
 	if err != nil {
 		return nil, err
@@ -271,6 +331,17 @@ func Select(d *Dataset, kind ModelKind, cs Constraints, opts ...Option) (*Select
 // of scheduling. With an empty strategy list it runs the study's best top-5
 // coverage portfolio (Table 8).
 func RunPortfolio(d *Dataset, kind ModelKind, cs Constraints, strategies []string, opts ...Option) (*Selection, error) {
+	return RunPortfolioContext(context.Background(), d, kind, cs, strategies, opts...)
+}
+
+// RunPortfolioContext is RunPortfolio with cancellation and graceful
+// degradation. Each member runs isolated: a panicking or erroring strategy
+// is recorded as failed in Selection.Report while the survivors still
+// compete, so the portfolio returns the best selection among surviving
+// members and errors only when every member failed (a joined error naming
+// each strategy). Cancelling ctx stops all members at their next charge
+// point and returns ctx.Err().
+func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Constraints, strategies []string, opts ...Option) (*Selection, error) {
 	if len(strategies) == 0 {
 		strategies = []string{"TPE(FCBF)", "SFFS(NR)", "TPE(NR)", "TPE(MIM)", "SA(NR)"}
 	}
@@ -293,12 +364,12 @@ func RunPortfolio(d *Dataset, kind ModelKind, cs Constraints, strategies []strin
 				outcomes[i] = outcome{err: err}
 				return
 			}
-			s, err := core.New(name)
+			s, err := newStrategy(name)
 			if err != nil {
 				outcomes[i] = outcome{err: err}
 				return
 			}
-			res, err := core.RunStrategy(s, scn, o2.seed, o2.maxEvals)
+			res, err := core.RunStrategyContext(ctx, s, scn, o2.seed, o2.maxEvals)
 			if err != nil {
 				outcomes[i] = outcome{err: err}
 				return
@@ -307,16 +378,37 @@ func RunPortfolio(d *Dataset, kind ModelKind, cs Constraints, strategies []strin
 		}(i, name)
 	}
 	wg.Wait()
-
-	var best *Selection
-	for _, out := range outcomes {
-		if out.err != nil {
-			return nil, out.err
-		}
-		if best == nil || betterSelection(out.sel, best) {
-			best = out.sel
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+
+	report := make([]StrategyReport, len(strategies))
+	var best *Selection
+	var failures []error
+	for i, out := range outcomes {
+		r := StrategyReport{Strategy: strategies[i]}
+		if out.err != nil {
+			r.Status = StrategyFailed
+			r.Err = out.err
+			failures = append(failures, fmt.Errorf("%s: %w", strategies[i], out.err))
+		} else {
+			r.Cost = out.sel.Cost
+			if out.sel.Satisfied {
+				r.Status = StrategySatisfied
+			} else {
+				r.Status = StrategyUnsatisfied
+			}
+			if best == nil || betterSelection(out.sel, best) {
+				best = out.sel
+			}
+		}
+		report[i] = r
+	}
+	if best == nil {
+		return nil, fmt.Errorf("dfs: all %d portfolio strategies failed: %w",
+			len(strategies), errors.Join(failures...))
+	}
+	best.Report = report
 	return best, nil
 }
 

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -74,7 +75,18 @@ type Record struct {
 	Results map[string]core.RunResult
 	// MetaX is the optimizer featurization of the scenario.
 	MetaX []float64
+	// Failures maps strategy name to the error message of a run that died
+	// (panic, corrupted data, retries exhausted); such strategies are absent
+	// from Results and count as unsatisfied in every analysis.
+	Failures map[string]string
+	// Err is a scenario-level failure (dataset generation, scenario
+	// construction, featurization): the whole record is a casualty, excluded
+	// from the analyses, and the pool carries on.
+	Err string
 }
+
+// Failed reports whether the scenario itself failed (Err != "").
+func (r *Record) Failed() bool { return r.Err != "" }
 
 // Satisfiable reports whether at least one of the 16 strategies satisfied
 // the scenario (the paper's denominator for coverage).
@@ -145,6 +157,9 @@ func (r *Record) fastestContains(strategy string) bool {
 type Pool struct {
 	Config  Config
 	Records []Record
+	// Interrupted reports that the build was canceled before every scenario
+	// ran; Records holds only the scenarios that completed.
+	Interrupted bool
 }
 
 // SatisfiableIDs lists the scenarios where coverage is defined.
@@ -152,6 +167,17 @@ func (p *Pool) SatisfiableIDs() []int {
 	var out []int
 	for i := range p.Records {
 		if p.Records[i].Satisfiable() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FailedIDs lists the scenarios that failed outright (Record.Err set).
+func (p *Pool) FailedIDs() []int {
+	var out []int
+	for i := range p.Records {
+		if p.Records[i].Failed() {
 			out = append(out, i)
 		}
 	}
@@ -198,72 +224,124 @@ func getDataset(seed uint64, name string) (*dataset.Dataset, error) {
 // plus the Original Features baseline on each. Scenario sampling and
 // execution are deterministic in cfg.Seed; scenarios run in parallel.
 func BuildPool(cfg Config) (*Pool, error) {
+	return BuildPoolContext(context.Background(), cfg)
+}
+
+// BuildPoolContext is BuildPool with cancellation and graceful degradation:
+// a failing strategy or scenario is recorded (Record.Failures / Record.Err)
+// instead of sinking the whole multi-minute pool, and canceling ctx stops
+// in-flight strategy runs at their next charge point, returning the
+// completed prefix with Pool.Interrupted set. An error is returned only
+// when nothing survives — every completed scenario failed.
+func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	cache := &datasetCache{data: make(map[string]*dataset.Dataset), seed: cfg.Seed}
 	records := make([]Record, cfg.Scenarios)
-	errs := make([]error, cfg.Scenarios)
+	done := make([]bool, cfg.Scenarios)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Scenarios; i++ {
+	for i := 0; i < cfg.Scenarios && ctx.Err() == nil; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec, err := runScenario(cfg, cache, i)
+			rec, err := runScenario(ctx, cfg, cache, i)
+			if err != nil {
+				// Only cancellation aborts a scenario without a record;
+				// everything else is recorded inside rec.
+				return
+			}
 			records[i] = rec
-			errs[i] = err
+			done[i] = true
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	pool := &Pool{Config: cfg, Interrupted: ctx.Err() != nil}
+	failed := 0
+	for i := range records {
+		if !done[i] {
+			continue
 		}
+		if records[i].Failed() {
+			failed++
+		}
+		pool.Records = append(pool.Records, records[i])
 	}
-	return &Pool{Config: cfg, Records: records}, nil
+	if !pool.Interrupted && failed == len(pool.Records) && failed > 0 {
+		return nil, fmt.Errorf("bench: all %d scenarios failed; first: %s", failed, pool.Records[0].Err)
+	}
+	return pool, nil
 }
 
-// runScenario samples and executes scenario i.
-func runScenario(cfg Config, cache *datasetCache, i int) (Record, error) {
+// runScenario samples and executes scenario i. The returned error is
+// non-nil only for cancellation; operational failures are recorded in the
+// Record so the pool degrades instead of dying.
+func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int) (Record, error) {
 	rng := xrand.NewStream(cfg.Seed, uint64(i)*2+1)
 	name := cfg.Datasets[rng.Intn(len(cfg.Datasets))]
 	kind := model.Kinds[rng.Intn(len(model.Kinds))]
 	cs := constraint.Sample(rng, cfg.Sampler)
-
-	d, err := cache.get(name)
-	if err != nil {
-		return Record{}, err
-	}
-	scn, err := core.NewScenario(d, kind, cs, cfg.HPO, cfg.Mode, cfg.Seed^uint64(i))
-	if err != nil {
-		return Record{}, fmt.Errorf("bench: scenario %d on %s: %w", i, name, err)
-	}
 
 	rec := Record{
 		ID:          i,
 		Dataset:     name,
 		Model:       kind,
 		Constraints: cs,
-		Results:     make(map[string]core.RunResult, len(core.StrategyNames)+1),
 	}
+	d, err := cache.get(name)
+	if err != nil {
+		rec.Err = fmt.Sprintf("dataset %s: %v", name, err)
+		return rec, nil
+	}
+	scn, err := core.NewScenario(d, kind, cs, cfg.HPO, cfg.Mode, cfg.Seed^uint64(i))
+	if err != nil {
+		rec.Err = fmt.Sprintf("scenario on %s: %v", name, err)
+		return rec, nil
+	}
+
+	rec.Results = make(map[string]core.RunResult, len(core.StrategyNames)+1)
 	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
 	for _, sName := range names {
-		s, err := core.New(sName)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return Record{}, err
 		}
-		res, err := core.RunStrategy(s, scn, cfg.Seed^(uint64(i)<<8), cfg.MaxEvals)
+		s, err := newPoolStrategy(sName)
 		if err != nil {
-			return Record{}, fmt.Errorf("bench: scenario %d strategy %s: %w", i, sName, err)
+			// Static names; a failure here is a programming error worth
+			// recording, not worth killing the pool for.
+			rec.failStrategy(sName, err)
+			continue
+		}
+		res, err := core.RunStrategyContext(ctx, s, scn, cfg.Seed^(uint64(i)<<8), cfg.MaxEvals)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return Record{}, cerr
+			}
+			rec.failStrategy(sName, err)
+			continue
 		}
 		rec.Results[sName] = res
 	}
 	metaX, err := optimizer.Featurize(scn, rng.Split())
 	if err != nil {
-		return Record{}, err
+		rec.Err = fmt.Sprintf("featurize: %v", err)
+		return rec, nil
 	}
 	rec.MetaX = metaX
 	return rec, nil
+}
+
+// newPoolStrategy builds pool strategies by name; tests swap it to inject
+// deterministic faults into pool runs.
+var newPoolStrategy = core.New
+
+// failStrategy records a strategy-run casualty.
+func (r *Record) failStrategy(name string, err error) {
+	if r.Failures == nil {
+		r.Failures = make(map[string]string)
+	}
+	r.Failures[name] = err.Error()
 }

@@ -15,8 +15,10 @@
 package budget
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -50,12 +52,22 @@ func NewSim(limit float64) *SimMeter {
 
 // Charge implements Meter.
 func (m *SimMeter) Charge(cost float64) error {
-	if cost < 0 {
-		return fmt.Errorf("budget: negative cost %v", cost)
+	if err := checkCost(cost); err != nil {
+		return err
 	}
 	m.spent += cost
 	if m.spent >= m.limit {
 		return ErrExhausted
+	}
+	return nil
+}
+
+// checkCost rejects charge amounts that would corrupt meter accounting: a
+// negative cost refunds budget, and a NaN or ±Inf cost poisons spent so
+// Exhausted comparisons are disabled (NaN) or instant (Inf) forever.
+func checkCost(cost float64) error {
+	if cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("budget: invalid cost %v", cost)
 	}
 	return nil
 }
@@ -81,8 +93,13 @@ func NewWall(limit time.Duration) *WallMeter {
 	return &WallMeter{start: time.Now(), limit: limit}
 }
 
-// Charge implements Meter.
-func (m *WallMeter) Charge(float64) error {
+// Charge implements Meter. The amount is not accumulated (the wall clock
+// decides), but invalid amounts are still rejected so a corrupted cost model
+// surfaces identically under both meters.
+func (m *WallMeter) Charge(cost float64) error {
+	if err := checkCost(cost); err != nil {
+		return err
+	}
 	if m.Exhausted() {
 		return ErrExhausted
 	}
@@ -174,6 +191,38 @@ func RankingCost(family RankingFamily, nominalRows, nominalFeatures int) float64
 		return 0
 	}
 }
+
+// WithContext wraps a meter so that charges fail and the meter reads as
+// exhausted once ctx is done. Charge returns the context's error verbatim
+// (context.Canceled / context.DeadlineExceeded), so callers can distinguish
+// cancellation from budget exhaustion; every charge point in a search thereby
+// becomes a cancellation point. A context that can never be canceled (e.g.
+// context.Background()) returns the meter unchanged, keeping the fault-free
+// hot path free of wrapper overhead.
+func WithContext(ctx context.Context, m Meter) Meter {
+	if ctx == nil || ctx.Done() == nil {
+		return m
+	}
+	return &ctxMeter{ctx: ctx, inner: m}
+}
+
+type ctxMeter struct {
+	ctx   context.Context
+	inner Meter
+}
+
+func (m *ctxMeter) Charge(cost float64) error {
+	if err := m.ctx.Err(); err != nil {
+		return err
+	}
+	return m.inner.Charge(cost)
+}
+
+func (m *ctxMeter) Spent() float64 { return m.inner.Spent() }
+
+func (m *ctxMeter) Limit() float64 { return m.inner.Limit() }
+
+func (m *ctxMeter) Exhausted() bool { return m.ctx.Err() != nil || m.inner.Exhausted() }
 
 // RankingFamily names a ranking cost class.
 type RankingFamily string

@@ -1,7 +1,9 @@
 package budget
 
 import (
+	"context"
 	"errors"
+	"math"
 	"testing"
 	"time"
 )
@@ -34,6 +36,99 @@ func TestSimMeterRejectsNegative(t *testing.T) {
 	m := NewSim(10)
 	if err := m.Charge(-1); err == nil || errors.Is(err, ErrExhausted) {
 		t.Fatalf("negative charge error: %v", err)
+	}
+}
+
+func TestMetersRejectNonFiniteCosts(t *testing.T) {
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.5}
+	meters := map[string]Meter{
+		"sim":    NewSim(10),
+		"wall":   NewWall(time.Hour),
+		"staged": NewStaged(NewSim(10), 5),
+	}
+	for name, m := range meters {
+		for _, cost := range bad {
+			err := m.Charge(cost)
+			if err == nil || errors.Is(err, ErrExhausted) {
+				t.Errorf("%s meter accepted cost %v: %v", name, cost, err)
+			}
+		}
+		// The rejected charges must not have been accounted.
+		if m.Exhausted() {
+			t.Errorf("%s meter exhausted by rejected charges", name)
+		}
+		if err := m.Charge(1); err != nil {
+			t.Errorf("%s meter broken after rejected charges: %v", name, err)
+		}
+	}
+	st := NewStaged(NewSim(10), 5)
+	_ = st.Charge(math.NaN())
+	if st.StageSpent() != 0 {
+		t.Errorf("staged meter accounted a NaN charge: stage spent %v", st.StageSpent())
+	}
+}
+
+func TestZeroLimitMeters(t *testing.T) {
+	// A zero-limit simulated meter is born exhausted: spent (0) >= limit (0).
+	m := NewSim(0)
+	if !m.Exhausted() {
+		t.Fatal("zero-limit sim meter must start exhausted")
+	}
+	if err := m.Charge(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("zero-limit sim meter accepted a charge: %v", err)
+	}
+	// Same for a zero-duration wall meter.
+	w := NewWall(0)
+	if !w.Exhausted() {
+		t.Fatal("zero-duration wall meter must start exhausted")
+	}
+	if err := w.Charge(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("zero-duration wall meter accepted a charge: %v", err)
+	}
+}
+
+func TestWallMeterExpiry(t *testing.T) {
+	m := &WallMeter{start: time.Now().Add(-2 * time.Second), limit: time.Second}
+	if !m.Exhausted() {
+		t.Fatal("past-deadline wall meter must be exhausted")
+	}
+	if err := m.Charge(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("expired wall meter charge: %v", err)
+	}
+	if m.Spent() < 1 || m.Limit() != 1 {
+		t.Fatalf("expiry accounting: spent %v limit %v", m.Spent(), m.Limit())
+	}
+	// Invalid costs outrank expiry so the corruption is never masked.
+	if err := m.Charge(math.NaN()); err == nil || errors.Is(err, ErrExhausted) {
+		t.Fatalf("expired wall meter must still reject NaN, got %v", err)
+	}
+}
+
+func TestWithContext(t *testing.T) {
+	// A never-cancelable context adds no wrapper.
+	base := NewSim(10)
+	if got := WithContext(context.Background(), base); got != Meter(base) {
+		t.Fatal("Background context must return the meter unchanged")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m := WithContext(ctx, NewSim(10))
+	if err := m.Charge(1); err != nil {
+		t.Fatalf("live context charge: %v", err)
+	}
+	if m.Exhausted() {
+		t.Fatal("live context meter exhausted early")
+	}
+	cancel()
+	if err := m.Charge(1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context charge: %v", err)
+	}
+	if !m.Exhausted() {
+		t.Fatal("canceled context meter must read exhausted")
+	}
+	// Spent reflects only the accepted pre-cancel charge.
+	if m.Spent() != 1 {
+		t.Fatalf("spent %v, want 1", m.Spent())
 	}
 }
 

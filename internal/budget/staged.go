@@ -19,6 +19,9 @@ func NewStaged(parent Meter, allowance float64) *Staged {
 
 // Charge implements Meter.
 func (s *Staged) Charge(cost float64) error {
+	if err := checkCost(cost); err != nil {
+		return err
+	}
 	if err := s.parent.Charge(cost); err != nil {
 		s.spent += cost
 		return err

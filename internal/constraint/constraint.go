@@ -8,6 +8,7 @@ package constraint
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/declarative-fs/dfs/internal/xrand"
@@ -85,19 +86,30 @@ type Scores struct {
 // job). A zero distance means all evaluable constraints are satisfied.
 func (s Set) Distance(sc Scores) float64 {
 	d := 0.0
-	if sc.F1 < s.MinF1 {
-		d += sq(sc.F1 - s.MinF1)
+	if f1 := worstIfNaN(sc.F1, 0); f1 < s.MinF1 {
+		d += sq(f1 - s.MinF1)
 	}
-	if s.HasFeatureCap() && sc.FeatureFrac > s.MaxFeatureFrac {
-		d += sq(sc.FeatureFrac - s.MaxFeatureFrac)
+	if frac := worstIfNaN(sc.FeatureFrac, 1); s.HasFeatureCap() && frac > s.MaxFeatureFrac {
+		d += sq(frac - s.MaxFeatureFrac)
 	}
-	if s.HasEO() && sc.EO < s.MinEO {
-		d += sq(sc.EO - s.MinEO)
+	if eo := worstIfNaN(sc.EO, 0); s.HasEO() && eo < s.MinEO {
+		d += sq(eo - s.MinEO)
 	}
-	if s.HasSafety() && sc.Safety < s.MinSafety {
-		d += sq(sc.Safety - s.MinSafety)
+	if sf := worstIfNaN(sc.Safety, 0); s.HasSafety() && sf < s.MinSafety {
+		d += sq(sf - s.MinSafety)
 	}
 	return d
+}
+
+// worstIfNaN substitutes the pessimal value for a NaN score so a corrupted
+// measurement reads as a maximal violation: every threshold comparison with
+// NaN is false, so without the substitution a poisoned score would silently
+// satisfy its constraint.
+func worstIfNaN(v, worst float64) float64 {
+	if math.IsNaN(v) {
+		return worst
+	}
+	return v
 }
 
 // Satisfied reports whether every evaluable constraint holds.

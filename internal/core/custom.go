@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/declarative-fs/dfs/internal/model"
 )
@@ -50,12 +51,19 @@ func (c CustomConstraint) Validate() error {
 }
 
 // customDistance returns the summed squared violations of the custom
-// constraints for the given scores.
+// constraints for the given scores. A NaN score counts as the maximal
+// violation (score 0): NaN compares false against every threshold, so
+// without the substitution a corrupted metric would silently satisfy its
+// constraint.
 func customDistance(customs []CustomConstraint, scores []float64) float64 {
 	d := 0.0
 	for i, c := range customs {
-		if scores[i] < c.Min {
-			diff := c.Min - scores[i]
+		v := scores[i]
+		if math.IsNaN(v) {
+			v = 0
+		}
+		if v < c.Min {
+			diff := c.Min - v
 			d += diff * diff
 		}
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// StrategyError is the typed failure of one strategy run: instead of
+// crashing the process (panic) or surfacing an anonymous error, every
+// non-budget failure of a strategy is reported as a *StrategyError so
+// callers — portfolios, benchmark pools, serving layers — can attribute the
+// failure, decide whether to retry, and keep the surviving runs.
+type StrategyError struct {
+	// Strategy is the name of the failed strategy.
+	Strategy string
+	// Cause is the underlying error; for recovered panics it is a
+	// "panic: ..." error wrapping nothing.
+	Cause error
+	// Stack is the goroutine stack at the panic site; empty for ordinary
+	// errors.
+	Stack string
+}
+
+func (e *StrategyError) Error() string {
+	return fmt.Sprintf("core: strategy %s failed: %v", e.Strategy, e.Cause)
+}
+
+func (e *StrategyError) Unwrap() error { return e.Cause }
+
+// Panicked reports whether the failure was a recovered panic.
+func (e *StrategyError) Panicked() bool { return e.Stack != "" }
+
+// transient is the classification interface for retryable failures: an error
+// anywhere in the chain implementing it decides. Degenerate stratified
+// splits (dataset.DegenerateSplitError) and singular-matrix rankings
+// (ranking.EmbeddingError) are the built-in transient failures; any package
+// can mark its own errors without importing core.
+type transient interface{ Transient() bool }
+
+// IsTransient reports whether err is classified as transient — worth a
+// bounded retry under a perturbed seed. Panics and budget exhaustion are
+// never transient.
+func IsTransient(err error) bool {
+	var t transient
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// DefaultTransientRetries is how many perturbed-seed retries the ctx-aware
+// runners grant a transiently failing strategy.
+const DefaultTransientRetries = 2
+
+// PerturbSeed derives the deterministic retry seed for an attempt. Attempt 0
+// is the identity, so a fault-free run is byte-identical to the non-retrying
+// path; later attempts fold in a Weyl-sequence constant.
+func PerturbSeed(seed uint64, attempt int) uint64 {
+	if attempt <= 0 {
+		return seed
+	}
+	return seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
+}
+
+// runProtected invokes s.Run with panic isolation: a panicking strategy
+// becomes a *StrategyError carrying the stack instead of killing the process
+// (and, in portfolio runs, the sibling strategies).
+func runProtected(s Strategy, ev *Evaluator, rng *xrand.RNG) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StrategyError{
+				Strategy: s.Name(),
+				Cause:    fmt.Errorf("panic: %v", r),
+				Stack:    string(debug.Stack()),
+			}
+		}
+	}()
+	return s.Run(ev, rng)
+}
+
+// RunStrategyWithMeterContext is RunStrategyWithMeter with cancellation:
+// the meter is wrapped so every charge point checks ctx, stopping the search
+// within one evaluation of cancellation. A canceled context returns ctx.Err()
+// (not a partial result); other failures surface as *StrategyError.
+func RunStrategyWithMeterContext(ctx context.Context, s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) (RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
+	}
+	res, err := RunStrategyWithMeter(s, scn, budget.WithContext(ctx, meter), seed, maxEvals)
+	if cerr := ctx.Err(); cerr != nil {
+		return RunResult{}, cerr
+	}
+	return res, err
+}
+
+// RunStrategyContext executes one strategy with the full fault-tolerance
+// stack: cancellation via ctx, panic isolation, and up to
+// DefaultTransientRetries deterministic retries (fresh simulated budget,
+// PerturbSeed-derived seed) when the failure is classified IsTransient.
+// With a fault-free strategy it is byte-identical to RunStrategy.
+func RunStrategyContext(ctx context.Context, s Strategy, scn *Scenario, seed uint64, maxEvals int) (RunResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= DefaultTransientRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return RunResult{}, err
+		}
+		meter := budget.NewSim(scn.Constraints.MaxSearchCost)
+		res, err := RunStrategyWithMeterContext(ctx, s, scn, meter, PerturbSeed(seed, attempt), maxEvals)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !IsTransient(err) {
+			break
+		}
+	}
+	return RunResult{}, lastErr
+}

@@ -249,15 +249,21 @@ func RunStrategy(s Strategy, scn *Scenario, seed uint64, maxEvals int) (RunResul
 // RunStrategyWithMeter executes one strategy against a caller-provided
 // budget meter — e.g. a wall-clock meter for real deployments where the
 // search time constraint is literal seconds rather than simulated cost
-// units.
+// units. The run is panic-isolated: any non-budget failure, including a
+// recovered panic, is returned as a *StrategyError instead of crashing the
+// process.
 func RunStrategyWithMeter(s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) (RunResult, error) {
 	ev, err := NewEvaluator(scn, meter, seed, maxEvals)
 	if err != nil {
 		return RunResult{}, err
 	}
-	if err := s.Run(ev, xrand.NewStream(seed, 0x57a7)); err != nil &&
+	if err := runProtected(s, ev, xrand.NewStream(seed, 0x57a7)); err != nil &&
 		!errors.Is(err, budget.ErrExhausted) {
-		return RunResult{}, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
+		var se *StrategyError
+		if errors.As(err, &se) {
+			return RunResult{}, err
+		}
+		return RunResult{}, &StrategyError{Strategy: s.Name(), Cause: err}
 	}
 	res := RunResult{
 		Strategy:    s.Name(),

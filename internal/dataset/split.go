@@ -11,6 +11,27 @@ type Split struct {
 	Train, Val, Test *Dataset
 }
 
+// DegenerateSplitError reports a dataset whose class counts cannot fill the
+// three stratified partitions. For a fixed dataset the condition is
+// deterministic, but callers that split a sampled or bootstrapped subset
+// (scenario fuzzing, resampling analyses) can draw a viable sample on retry,
+// so the error reports Transient() == true for the retry classification in
+// internal/core.
+type DegenerateSplitError struct {
+	// Name is the dataset name.
+	Name string
+	// Class0 and Class1 are the per-class instance counts.
+	Class0, Class1 int
+}
+
+func (e *DegenerateSplitError) Error() string {
+	return fmt.Sprintf("dataset %q: need at least 3 instances per class to split, got %d/%d",
+		e.Name, e.Class0, e.Class1)
+}
+
+// Transient marks the error as retryable under a perturbed seed.
+func (e *DegenerateSplitError) Transient() bool { return true }
+
 // StratifiedSplit partitions d into train/validation/test with the paper's
 // 3:1:1 ratio, stratified by class label so that all partitions preserve the
 // class balance. The split is deterministic given the RNG seed.
@@ -28,8 +49,7 @@ func StratifiedSplitRatio(d *Dataset, train, val, test int, rng *xrand.RNG) (*Sp
 		byClass[y] = append(byClass[y], i)
 	}
 	if len(byClass[0]) < 3 || len(byClass[1]) < 3 {
-		return nil, fmt.Errorf("dataset %q: need at least 3 instances per class to split, got %d/%d",
-			d.Name, len(byClass[0]), len(byClass[1]))
+		return nil, &DegenerateSplitError{Name: d.Name, Class0: len(byClass[0]), Class1: len(byClass[1])}
 	}
 	total := train + val + test
 	var trainIdx, valIdx, testIdx []int

@@ -28,6 +28,22 @@ type MCFS struct {
 	Alpha float64
 }
 
+// EmbeddingError reports an MCFS spectral embedding that failed on the
+// sampled Laplacian (e.g. the eigendecomposition did not converge on a
+// near-singular matrix). The row sample is RNG-drawn, so a retry under a
+// perturbed seed builds a different graph; the error therefore reports
+// Transient() == true for the retry classification in internal/core.
+type EmbeddingError struct {
+	Err error
+}
+
+func (e *EmbeddingError) Error() string { return fmt.Sprintf("ranking: MCFS embedding: %v", e.Err) }
+
+func (e *EmbeddingError) Unwrap() error { return e.Err }
+
+// Transient marks the error as retryable under a perturbed seed.
+func (e *EmbeddingError) Transient() bool { return true }
+
 // Name implements Ranker.
 func (MCFS) Name() string { return "MCFS" }
 
@@ -125,7 +141,7 @@ func (m MCFS) Rank(train *dataset.Dataset, rng *xrand.RNG) ([]float64, error) {
 	}
 	_, vecs, err := linalg.EigenSym(lap)
 	if err != nil {
-		return nil, fmt.Errorf("ranking: MCFS embedding: %w", err)
+		return nil, &EmbeddingError{Err: err}
 	}
 
 	// Bottom kDims non-trivial eigenvectors (skip the constant first one),
