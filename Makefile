@@ -1,4 +1,6 @@
 GO ?= go
+BENCHTIME ?= 1x
+BENCH_NOTE ?=
 
 .PHONY: all vet build test race bench ci
 
@@ -16,7 +18,12 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# bench runs the top-level Benchmark* functions and appends the parsed
+# results (name, ns/op, allocs/op) to the BENCH_PR2.json trajectory so
+# successive PRs can compare. Override BENCHTIME for steadier numbers, e.g.
+# `make bench BENCHTIME=3x BENCH_NOTE="after memoization"`.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR2.json -note "$(BENCH_NOTE)"
 
 ci: vet build race

@@ -1,0 +1,121 @@
+// Command benchjson turns `go test -bench` output into a JSON trajectory
+// artifact. It reads the benchmark run from stdin (echoing it through to
+// stdout so it still shows in the terminal and CI logs), parses the
+// Benchmark* result lines, and appends one run object to the -out file —
+// BENCH_PR2.json in the repo root — so successive PRs can diff name, ns/op,
+// and allocs/op across snapshots:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' . | go run ./cmd/benchjson -note "after memoization"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed Benchmark* line.
+type BenchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Run is one benchmark invocation's snapshot.
+type Run struct {
+	Date       string        `json:"date"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "trajectory file to append the run to")
+	note := flag.String("note", "", "free-form label for this run")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	var runs []Run
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s holds invalid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	runs = append(runs, Run{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Note:       *note,
+		Benchmarks: results,
+	})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmarks to %s (%d runs total)\n",
+		len(results), *out, len(runs))
+}
+
+// parse scans go-test benchmark output, echoing every line to stdout.
+// Result lines look like:
+//
+//	BenchmarkScenarioPool-4   1   819733028 ns/op   35363528 B/op   367807 allocs/op
+func parse(f *os.File) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{
+			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if r.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}

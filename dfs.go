@@ -207,6 +207,7 @@ type options struct {
 	maxEvals  int
 	wallClock time.Duration
 	custom    []core.CustomConstraint
+	noShare   bool
 }
 
 // Option customizes Select and RunPortfolio.
@@ -237,6 +238,14 @@ func WithMaxEvaluations(n int) Option { return func(o *options) { o.maxEvals = n
 // production deployments; the simulated meter remains the right choice for
 // reproducible experiments.
 func WithWallClock(d time.Duration) Option { return func(o *options) { o.wallClock = d } }
+
+// WithoutEvaluationSharing disables the cross-member trained-subset memo in
+// RunPortfolio: every member retrains every subset privately, as if it ran
+// alone. The selection is identical either way — sharing only skips redundant
+// physical training while each member's budget meter still pays the full
+// simulated cost — so this is an escape hatch for debugging and verification,
+// not a semantic knob.
+func WithoutEvaluationSharing() Option { return func(o *options) { o.noShare = true } }
 
 // CustomMetric scores one evaluated feature subset from the model's
 // predictions; it must return a value in [0, 1] and be deterministic. The
@@ -346,6 +355,18 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 		strategies = []string{"TPE(FCBF)", "SFFS(NR)", "TPE(NR)", "TPE(MIM)", "SA(NR)"}
 	}
 	o := buildOptions(opts)
+	// One scenario serves every member: the split, constraints, and custom
+	// metrics are identical across strategies, and runs never mutate the
+	// scenario (per-run state lives in each member's evaluator). Sharing it
+	// is what lets the trained-subset memo deduplicate across members.
+	scn, err := newScenario(d, kind, cs, o)
+	if err != nil {
+		return nil, err
+	}
+	var memo *core.SharedMemo
+	if !o.noShare {
+		memo = core.NewSharedMemo()
+	}
 
 	type outcome struct {
 		sel *Selection
@@ -357,19 +378,12 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			o2 := o
-			o2.strategy = name
-			scn, err := newScenario(d, kind, cs, o2)
-			if err != nil {
-				outcomes[i] = outcome{err: err}
-				return
-			}
 			s, err := newStrategy(name)
 			if err != nil {
 				outcomes[i] = outcome{err: err}
 				return
 			}
-			res, err := core.RunStrategyContext(ctx, s, scn, o2.seed, o2.maxEvals)
+			res, err := core.RunStrategySharedContext(ctx, s, scn, memo, o.seed, o.maxEvals)
 			if err != nil {
 				outcomes[i] = outcome{err: err}
 				return

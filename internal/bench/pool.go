@@ -37,8 +37,15 @@ type Config struct {
 	Datasets []string
 	// Sampler bounds the constraint fuzzer (default: the paper's window).
 	Sampler constraint.SamplerConfig
-	// Workers is the parallelism; 0 means GOMAXPROCS.
+	// Workers is the parallelism; 0 means GOMAXPROCS. It governs both
+	// scheduling levels: at most Workers scenarios are in flight, and at most
+	// Workers strategy runs execute concurrently across all of them.
 	Workers int
+	// NoEvalSharing disables the per-scenario trained-subset memo, forcing
+	// fully private evaluation caches (the pre-sharing behavior). Records are
+	// identical either way — sharing only skips redundant physical training —
+	// so this is a debugging/verification escape hatch, not a semantic knob.
+	NoEvalSharing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -131,7 +138,13 @@ func (r *Record) FastestSet() []string {
 	if !found {
 		return nil
 	}
+	// Relative tolerance with an absolute floor: a zero-cost best (e.g. the
+	// budget's free prefix already contained a solution) must still tie other
+	// zero-cost strategies, and bestCost*1e-9 would collapse to 0 there.
 	tol := bestCost * 1e-9
+	if tol == 0 {
+		tol = 1e-12
+	}
 	var out []string
 	for _, name := range core.StrategyNames {
 		res := r.Results[name]
@@ -239,15 +252,23 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 	records := make([]Record, cfg.Scenarios)
 	done := make([]bool, cfg.Scenarios)
 
+	// Two-level scheduling under one worker budget: scenarios is the
+	// admission bound (at most Workers scenarios in flight, so small pools
+	// don't strand cores behind a long scenario) and slots is the execution
+	// bound shared by every strategy run of every admitted scenario. A
+	// scenario goroutine never holds an execution slot itself — it only
+	// samples, fans out, and assembles — so scenario admission can never
+	// deadlock against strategy execution.
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
+	scenarios := make(chan struct{}, cfg.Workers)
+	slots := make(chan struct{}, cfg.Workers)
 	for i := 0; i < cfg.Scenarios && ctx.Err() == nil; i++ {
 		wg.Add(1)
-		sem <- struct{}{}
+		scenarios <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			rec, err := runScenario(ctx, cfg, cache, i)
+			defer func() { <-scenarios }()
+			rec, err := runScenario(ctx, cfg, cache, i, slots)
 			if err != nil {
 				// Only cancellation aborts a scenario without a record;
 				// everything else is recorded inside rec.
@@ -276,10 +297,11 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 	return pool, nil
 }
 
-// runScenario samples and executes scenario i. The returned error is
+// runScenario samples and executes scenario i, running its strategy runs
+// concurrently on the pool-wide execution slots. The returned error is
 // non-nil only for cancellation; operational failures are recorded in the
 // Record so the pool degrades instead of dying.
-func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int) (Record, error) {
+func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, slots chan struct{}) (Record, error) {
 	rng := xrand.NewStream(cfg.Seed, uint64(i)*2+1)
 	name := cfg.Datasets[rng.Intn(len(cfg.Datasets))]
 	kind := model.Kinds[rng.Intn(len(model.Kinds))]
@@ -302,28 +324,52 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int) (R
 		return rec, nil
 	}
 
-	rec.Results = make(map[string]core.RunResult, len(core.StrategyNames)+1)
+	// Every strategy of the scenario runs under the same seed against a
+	// shared trained-subset memo: identical subsets train once, physically,
+	// while every member's simulated meter still pays full price (see
+	// core.SharedMemo). The seed-pinned memo key keeps transient retries
+	// (perturbed seeds) on private entries.
+	var memo *core.SharedMemo
+	if !cfg.NoEvalSharing {
+		memo = core.NewSharedMemo()
+	}
 	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
-	for _, sName := range names {
-		if err := ctx.Err(); err != nil {
-			return Record{}, err
-		}
-		s, err := newPoolStrategy(sName)
-		if err != nil {
-			// Static names; a failure here is a programming error worth
-			// recording, not worth killing the pool for.
-			rec.failStrategy(sName, err)
-			continue
-		}
-		res, err := core.RunStrategyContext(ctx, s, scn, cfg.Seed^(uint64(i)<<8), cfg.MaxEvals)
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return Record{}, cerr
+	results := make([]core.RunResult, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for j := range names {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			select {
+			case slots <- struct{}{}:
+				defer func() { <-slots }()
+			case <-ctx.Done():
+				errs[j] = ctx.Err()
+				return
 			}
-			rec.failStrategy(sName, err)
+			s, err := newPoolStrategy(names[j])
+			if err != nil {
+				// Static names; a failure here is a programming error worth
+				// recording, not worth killing the pool for.
+				errs[j] = err
+				return
+			}
+			results[j], errs[j] = core.RunStrategySharedContext(
+				ctx, s, scn, memo, cfg.Seed^(uint64(i)<<8), cfg.MaxEvals)
+		}(j)
+	}
+	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return Record{}, cerr
+	}
+	rec.Results = make(map[string]core.RunResult, len(names))
+	for j, sName := range names {
+		if errs[j] != nil {
+			rec.failStrategy(sName, errs[j])
 			continue
 		}
-		rec.Results[sName] = res
+		rec.Results[sName] = results[j]
 	}
 	metaX, err := optimizer.Featurize(scn, rng.Split())
 	if err != nil {

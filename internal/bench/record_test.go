@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/core"
+)
+
+// TestFastestSetZeroCostTie is the regression test for the tolerance
+// collapse: with bestCost == 0 the relative tolerance bestCost*1e-9 is 0,
+// and float tie-mates at exactly 0 still matched, but any strategy whose
+// cost is a denormal hair above 0 was dropped. The absolute floor keeps all
+// free solutions in the tie set.
+func TestFastestSetZeroCostTie(t *testing.T) {
+	r := Record{Results: map[string]core.RunResult{
+		"SFS(NR)":  {Satisfied: true, CostAtSolution: 0},
+		"SFFS(NR)": {Satisfied: true, CostAtSolution: 0},
+		"TPE(NR)":  {Satisfied: true, CostAtSolution: 1e-13}, // below the floor: a tie
+		"SA(NR)":   {Satisfied: true, CostAtSolution: 5},     // a real loser
+	}}
+	got := r.FastestSet()
+	// Expected set in Table 3 order: TPE(NR) appears before SFS/SFFS there.
+	expected := []string{"TPE(NR)", "SFS(NR)", "SFFS(NR)"}
+	if !reflect.DeepEqual(got, expected) {
+		t.Fatalf("FastestSet = %v, want %v", got, expected)
+	}
+	if r.FastestStrategy() != "TPE(NR)" {
+		t.Fatalf("FastestStrategy = %q", r.FastestStrategy())
+	}
+}
+
+// TestFastestSetRelativeTie checks the unchanged nonzero-cost behavior.
+func TestFastestSetRelativeTie(t *testing.T) {
+	r := Record{Results: map[string]core.RunResult{
+		"SFS(NR)":  {Satisfied: true, CostAtSolution: 100},
+		"SFFS(NR)": {Satisfied: true, CostAtSolution: 100 * (1 + 1e-10)}, // within rel tol
+		"TPE(NR)":  {Satisfied: true, CostAtSolution: 101},               // not a tie
+	}}
+	got := r.FastestSet()
+	expected := []string{"SFS(NR)", "SFFS(NR)"}
+	if !reflect.DeepEqual(got, expected) {
+		t.Fatalf("FastestSet = %v, want %v", got, expected)
+	}
+}

@@ -27,6 +27,9 @@ const pruneBase = 1e6
 // through 2^N free subsets.
 const visitCap = 500000
 
+// evalStream is the stream selector of the per-subset RNG; see evalRNG.
+const evalStream = 0x5e1ec7
+
 // Candidate is one evaluated feature subset.
 type Candidate struct {
 	// Mask is the feature selection.
@@ -45,15 +48,7 @@ type Candidate struct {
 }
 
 // Features lists the selected feature indices.
-func (c *Candidate) Features() []int {
-	var out []int
-	for j, b := range c.Mask {
-		if b {
-			out = append(out, j)
-		}
-	}
-	return out
-}
+func (c *Candidate) Features() []int { return selected(c.Mask) }
 
 type cacheEntry struct {
 	value float64
@@ -66,20 +61,41 @@ type cacheEntry struct {
 // declared), measuring the constrained metrics on validation data, and
 // confirming satisfying subsets on test data. It implements both
 // search.Objective and search.MultiObjective.
+//
+// Every random draw of an evaluation (DP training noise, attack sampling)
+// comes from a stream derived from (seed, mask), not from a sequential
+// generator, so the physical result of a subset is independent of the order
+// in which subsets are visited. That independence is what lets a SharedMemo
+// serve one strategy's training to another without changing any number.
 type Evaluator struct {
 	scn   *Scenario
 	meter budget.Meter
-	rng   *xrand.RNG
+	seed  uint64
 
 	cache    map[string]cacheEntry
+	shared   *SharedMemo
 	evals    int
 	maxEvals int
 	visits   int
 
 	// noPruning disables the evaluation-independent feature-cap pruning;
-	// only the ablation benchmark sets it, to quantify what the Table 1
-	// optimization buys.
+	// only the backward strategies and the ablation benchmark set it.
 	noPruning bool
+
+	// Reusable hot-path buffers: the bit-packed mask key scratch and the
+	// two prediction buffers trainAndScore ping-pongs between. They make
+	// cache probes and batch predictions allocation-free; the evaluator is
+	// consequently not safe for concurrent use (each strategy owns one).
+	keyBuf []byte
+	predA  []int
+	predB  []int
+
+	// trainViews / valViews cache the most recent feature-selected copies
+	// of the train and validation splits: RFE re-selects the subset it just
+	// evaluated to rank features, and EvaluateOnTest re-selects the best
+	// candidate's subset.
+	trainViews *dataset.SelectionCache
+	valViews   *dataset.SelectionCache
 
 	best     *Candidate // lowest validation distance (then objective)
 	solution *Candidate // best test-confirmed satisfying subset
@@ -94,11 +110,13 @@ func NewEvaluator(scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) 
 		return nil, err
 	}
 	return &Evaluator{
-		scn:      scn,
-		meter:    meter,
-		rng:      xrand.NewStream(seed, 0xe7a1),
-		cache:    make(map[string]cacheEntry),
-		maxEvals: maxEvals,
+		scn:        scn,
+		meter:      meter,
+		seed:       seed,
+		cache:      make(map[string]cacheEntry),
+		maxEvals:   maxEvals,
+		trainViews: dataset.NewSelectionCache(scn.Split.Train),
+		valViews:   dataset.NewSelectionCache(scn.Split.Val),
 	}, nil
 }
 
@@ -113,15 +131,19 @@ func (ev *Evaluator) Meter() budget.Meter { return ev.meter }
 // best/solution records persist.
 func (ev *Evaluator) SetMeter(m budget.Meter) { ev.meter = m }
 
+// UseShared attaches a cross-strategy memoization layer. The memo must be
+// shared only between evaluators of the same scenario and seed; see
+// SharedMemo.
+func (ev *Evaluator) UseShared(m *SharedMemo) { ev.shared = m }
+
 // SetPruning toggles the evaluation-independent feature-cap pruning
 // (enabled by default); the pruning ablation disables it so cap-violating
 // subsets are trained and charged like any other.
 func (ev *Evaluator) SetPruning(enabled bool) { ev.noPruning = !enabled }
 
-// RNG returns a child RNG stream for strategy-level randomness.
-func (ev *Evaluator) RNG() *xrand.RNG { return ev.rng.Split() }
-
-// Evaluations returns the number of distinct trained subsets.
+// Evaluations returns the number of distinct evaluated subsets. Subsets
+// served by a SharedMemo count like privately trained ones: the figure
+// tracks the paper's simulated compute, not the physical trainings.
 func (ev *Evaluator) Evaluations() int { return ev.evals }
 
 // Best returns the candidate with the lowest validation distance seen so
@@ -152,31 +174,69 @@ func (ev *Evaluator) NumObjectives() int {
 	return n + len(ev.scn.Custom)
 }
 
-func maskKey(mask []bool) string {
-	b := make([]byte, len(mask))
+// maskKeyBytes packs the mask into the evaluator's key scratch buffer, one
+// bit per feature. Cache probes convert it with string(b) at the call site,
+// which the compiler compiles to an allocation-free map lookup; only
+// storing a new entry materializes the key.
+func (ev *Evaluator) maskKeyBytes(mask []bool) []byte {
+	n := (len(mask) + 7) / 8
+	if cap(ev.keyBuf) < n {
+		ev.keyBuf = make([]byte, n)
+	}
+	b := ev.keyBuf[:n]
+	for i := range b {
+		b[i] = 0
+	}
 	for i, v := range mask {
 		if v {
-			b[i] = '1'
-		} else {
-			b[i] = '0'
+			b[i>>3] |= 1 << uint(i&7)
 		}
 	}
-	return string(b)
+	return b
+}
+
+// maskHash is FNV-1a over the packed mask bytes.
+func maskHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// evalRNG derives the random stream of one subset evaluation from the
+// evaluator seed and the mask alone. Two strategies of the same scenario
+// (same seed) therefore draw identical DP noise and attack samples for the
+// same subset no matter when they reach it — the property that makes
+// memoized physical results indistinguishable from private retraining.
+func (ev *Evaluator) evalRNG(key []byte) *xrand.RNG {
+	return xrand.NewStream(ev.seed^maskHash(key), evalStream)
+}
+
+func (ev *Evaluator) memoKeyFor(key []byte) memoKey {
+	return memoKey{
+		mask: string(key),
+		kind: ev.scn.ModelKind,
+		hpo:  ev.scn.HPO,
+		eps:  ev.scn.Constraints.PrivacyEps,
+		seed: ev.seed,
+	}
 }
 
 // Evaluate implements search.Objective.
 func (ev *Evaluator) Evaluate(mask []bool) (float64, bool, error) {
-	v, _, stop, err := ev.evaluate(mask, false)
+	v, _, stop, err := ev.evaluate(mask)
 	return v, stop, err
 }
 
 // EvaluateMulti implements search.MultiObjective.
 func (ev *Evaluator) EvaluateMulti(mask []bool) ([]float64, bool, error) {
-	_, multi, stop, err := ev.evaluate(mask, true)
+	_, multi, stop, err := ev.evaluate(mask)
 	return multi, stop, err
 }
 
-func (ev *Evaluator) evaluate(mask []bool, wantMulti bool) (float64, []float64, bool, error) {
+func (ev *Evaluator) evaluate(mask []bool) (float64, []float64, bool, error) {
 	if len(mask) != ev.NumFeatures() {
 		return 0, nil, false, fmt.Errorf("core: mask width %d != features %d", len(mask), ev.NumFeatures())
 	}
@@ -210,22 +270,107 @@ func (ev *Evaluator) evaluate(mask []bool, wantMulti bool) (float64, []float64, 
 		return v, ev.pruneMulti(v), false, nil
 	}
 
-	key := maskKey(mask)
-	if e, ok := ev.cache[key]; ok {
+	key := ev.maskKeyBytes(mask)
+	if e, ok := ev.cache[string(key)]; ok {
+		// Intra-strategy revisits stay free, with or without sharing.
 		return e.value, e.multi, e.stop, nil
 	}
-	sel := selected(mask)
 
 	if ev.maxEvals > 0 && ev.evals >= ev.maxEvals {
 		return 0, nil, false, budget.ErrExhausted
 	}
 	ev.evals++
 
-	clf, valScores, valCustom, err := ev.trainAndScore(mask, sel)
+	if ev.shared == nil {
+		return ev.computeEvaluate(mask, key, nil, nil)
+	}
+
+	mk := ev.memoKeyFor(key)
+	for {
+		phys, hit, owned, ready := ev.shared.acquire(mk)
+		switch {
+		case hit:
+			return ev.replayEvaluate(mask, key, count, phys)
+		case owned != nil:
+			return ev.computeEvaluate(mask, key, &mk, owned)
+		default:
+			// Another strategy is training this subset right now; wait for
+			// its commit (or abandonment) instead of duplicating the work.
+			<-ready
+		}
+	}
+}
+
+// computeEvaluate trains the subset for real and finishes the evaluation.
+// When the caller owns a shared-memo slot (owned != nil), the physical
+// result is committed at exactly the point the local cache entry is stored,
+// and the slot is abandoned on any failure — including a panic unwinding
+// through this frame.
+func (ev *Evaluator) computeEvaluate(mask []bool, key []byte, mk *memoKey, owned *memoEntry) (v float64, multi []float64, stop bool, err error) {
+	committed := false
+	if owned != nil {
+		defer func() {
+			if !committed {
+				ev.shared.abandon(*mk, owned)
+			}
+		}()
+	}
+	sel := selected(mask)
+	rng := ev.evalRNG(key)
+	clf, valScores, valCustom, err := ev.trainAndScore(sel, key, rng)
 	if err != nil {
 		return 0, nil, false, err
 	}
+	phys := physical{val: valScores, valCustom: valCustom}
+	confirm := func() (constraint.Scores, []float64, error) {
+		testScores, testCustom, err := ev.scoreOn(clf, ev.scn.Split.Test, sel, true, rng)
+		if err == nil {
+			phys.test, phys.testCustom, phys.hasTest = testScores, testCustom, true
+		}
+		return testScores, testCustom, err
+	}
+	return ev.finish(mask, key, valScores, valCustom, confirm, func() {
+		if owned != nil {
+			committed = true
+			ev.shared.commit(*mk, owned, phys)
+		}
+	})
+}
 
+// replayEvaluate serves a subset another strategy already trained. The
+// simulated meter is charged the complete training sequence of the subset —
+// the full Eq. 1 cost, aborting at the same charge that would have aborted a
+// real training — so the strategy's budget trajectory, SpentAt stamps, and
+// stop points are bit-identical to a private evaluation; only the physical
+// model fitting is skipped.
+func (ev *Evaluator) replayEvaluate(mask []bool, key []byte, selCount int, phys physical) (float64, []float64, bool, error) {
+	if err := ev.chargeTrainSequence(selCount); err != nil {
+		return 0, nil, false, err
+	}
+	confirm := func() (constraint.Scores, []float64, error) {
+		if !phys.hasTest {
+			// Unreachable by construction: a committed entry whose distance
+			// is zero was test-confirmed before commit. Fail loudly rather
+			// than diverge silently.
+			return constraint.Scores{}, nil, fmt.Errorf("core: shared memo entry lacks test confirmation")
+		}
+		if err := ev.chargeTestConfirmation(selCount); err != nil {
+			return constraint.Scores{}, nil, err
+		}
+		return phys.test, phys.testCustom, nil
+	}
+	return ev.finish(mask, key, phys.val, phys.valCustom, confirm, nil)
+}
+
+// finish is the evaluation tail shared by real and memo-served paths:
+// distance/objective, best tracking, validation-then-test confirmation via
+// confirm, solution bookkeeping, and the local cache store. committed, when
+// non-nil, runs exactly when the evaluation fully succeeds (the local cache
+// entry is stored) — the owner of a shared-memo slot publishes there.
+func (ev *Evaluator) finish(mask []bool, key []byte, valScores constraint.Scores, valCustom []float64,
+	confirm func() (constraint.Scores, []float64, error), committed func()) (float64, []float64, bool, error) {
+
+	cs := ev.scn.Constraints
 	dist := cs.Distance(valScores) + customDistance(ev.scn.Custom, valCustom)
 	utility := 0.0
 	if ev.scn.Mode == ModeMaximizeUtility {
@@ -251,7 +396,7 @@ func (ev *Evaluator) evaluate(mask []bool, wantMulti bool) (float64, []float64, 
 	stop := false
 	if dist == 0 {
 		// Constraints hold on validation: confirm on test (§2.2).
-		testScores, testCustom, err := ev.scoreOn(clf, ev.scn.Split.Test, mask, sel, true)
+		testScores, testCustom, err := confirm()
 		if err != nil {
 			return 0, nil, false, err
 		}
@@ -273,35 +418,83 @@ func (ev *Evaluator) evaluate(mask []bool, wantMulti bool) (float64, []float64, 
 	}
 
 	multi := ev.multiComponents(valScores, valCustom)
-	ev.cache[key] = cacheEntry{value: obj, multi: multi, stop: stop}
+	ev.cache[string(key)] = cacheEntry{value: obj, multi: multi, stop: stop}
+	if committed != nil {
+		committed()
+	}
 	var budgetErr error
 	if ev.meter.Exhausted() {
 		budgetErr = budget.ErrExhausted
 	}
-	_ = wantMulti // the multi vector is cheap; both paths return it
 	return obj, multi, stop, budgetErr
+}
+
+// trainEff returns the effective (nominal-scale) feature count of a subset
+// against the training split.
+func (ev *Evaluator) trainEff(selCount int) float64 {
+	return float64(selCount) / float64(ev.NumFeatures()) * float64(ev.scn.Split.Train.NominalFeatures())
+}
+
+// chargeTrainSequence replays the exact charge schedule of trainAndScore for
+// a memo-served subset: per grid member one training and one validation
+// inference, plus the safety attack when declared. Amounts and order match
+// trainAndScore charge for charge, so exhaustion aborts a replay at the same
+// cumulative spend as a real training.
+func (ev *Evaluator) chargeTrainSequence(selCount int) error {
+	scn := ev.scn
+	nomRows := scn.Split.Train.NominalRows() * 3 / 5
+	effFeatures := ev.trainEff(selCount)
+	kindFactor := scn.kindFactor()
+	for range scn.specs() {
+		if err := ev.charge(budget.TrainCost(nomRows, effFeatures, kindFactor)); err != nil {
+			return err
+		}
+		if err := ev.charge(budget.EvalCost(nomRows/3, effFeatures)); err != nil {
+			return err
+		}
+	}
+	if scn.Constraints.HasSafety() {
+		return ev.chargeAttack(effFeatures)
+	}
+	return nil
+}
+
+// chargeTestConfirmation replays the charge schedule of the test-split
+// scoreOn: one inference pass plus the safety attack when declared.
+func (ev *Evaluator) chargeTestConfirmation(selCount int) error {
+	part := ev.scn.Split.Test
+	effFeatures := float64(selCount) / float64(ev.NumFeatures()) * float64(part.NominalFeatures())
+	if err := ev.charge(budget.EvalCost(part.NominalRows()/5, effFeatures)); err != nil {
+		return err
+	}
+	if ev.scn.Constraints.HasSafety() {
+		return ev.chargeAttack(effFeatures)
+	}
+	return nil
 }
 
 // trainAndScore trains the scenario's model (grid) on the selected features
 // and returns the best-validation-F1 classifier with its validation scores
-// and the custom-constraint scores.
-func (ev *Evaluator) trainAndScore(mask []bool, sel []int) (model.Classifier, constraint.Scores, []float64, error) {
+// and the custom-constraint scores. All randomness comes from rng, the
+// per-subset stream.
+func (ev *Evaluator) trainAndScore(sel []int, key []byte, rng *xrand.RNG) (model.Classifier, constraint.Scores, []float64, error) {
 	scn := ev.scn
-	train := scn.Split.Train.SelectFeatures(sel)
-	val := scn.Split.Val.SelectFeatures(sel)
+	train := ev.trainViews.Select(key, sel)
+	val := ev.valViews.Select(key, sel)
 
 	nomRows := scn.Split.Train.NominalRows() * 3 / 5
-	effFeatures := float64(len(sel)) / float64(ev.NumFeatures()) * float64(scn.Split.Train.NominalFeatures())
+	effFeatures := ev.trainEff(len(sel))
 	kindFactor := scn.kindFactor()
 
 	var bestClf model.Classifier
 	bestF1 := -1.0
 	var bestPred []int
+	scratch, keep := ev.predA, ev.predB
 	for _, spec := range scn.specs() {
 		if err := ev.charge(budget.TrainCost(nomRows, effFeatures, kindFactor)); err != nil {
 			return nil, constraint.Scores{}, nil, err
 		}
-		clf, err := ev.newClassifier(spec)
+		clf, err := ev.newClassifier(spec, rng)
 		if err != nil {
 			return nil, constraint.Scores{}, nil, err
 		}
@@ -311,12 +504,15 @@ func (ev *Evaluator) trainAndScore(mask []bool, sel []int) (model.Classifier, co
 		if err := ev.charge(budget.EvalCost(nomRows/3, effFeatures)); err != nil {
 			return nil, constraint.Scores{}, nil, err
 		}
-		pred := model.PredictBatch(clf, val.X)
-		f1 := metrics.F1Score(val.Y, pred)
+		scratch = model.PredictBatchInto(clf, val.X, scratch)
+		f1 := metrics.F1Score(val.Y, scratch)
 		if f1 > bestF1 {
-			bestClf, bestF1, bestPred = clf, f1, pred
+			bestClf, bestF1 = clf, f1
+			scratch, keep = keep, scratch
+			bestPred = keep
 		}
 	}
+	ev.predA, ev.predB = scratch, keep
 
 	scores := constraint.Scores{
 		F1:          bestF1,
@@ -325,7 +521,7 @@ func (ev *Evaluator) trainAndScore(mask []bool, sel []int) (model.Classifier, co
 		Safety:      1,
 	}
 	if scn.Constraints.HasSafety() {
-		s, err := ev.measureSafety(bestClf, val, effFeatures)
+		s, err := ev.measureSafety(bestClf, val, effFeatures, rng)
 		if err != nil {
 			return nil, constraint.Scores{}, nil, err
 		}
@@ -356,7 +552,7 @@ func (ev *Evaluator) customScores(clf model.Classifier, part *dataset.Dataset, p
 
 // scoreOn measures the constrained metrics of a fitted classifier on a data
 // partition (used for the test confirmation), including custom constraints.
-func (ev *Evaluator) scoreOn(clf model.Classifier, part *dataset.Dataset, mask []bool, sel []int, charge bool) (constraint.Scores, []float64, error) {
+func (ev *Evaluator) scoreOn(clf model.Classifier, part *dataset.Dataset, sel []int, charge bool, rng *xrand.RNG) (constraint.Scores, []float64, error) {
 	sub := part.SelectFeatures(sel)
 	effFeatures := float64(len(sel)) / float64(ev.NumFeatures()) * float64(part.NominalFeatures())
 	if charge {
@@ -364,7 +560,8 @@ func (ev *Evaluator) scoreOn(clf model.Classifier, part *dataset.Dataset, mask [
 			return constraint.Scores{}, nil, err
 		}
 	}
-	pred := model.PredictBatch(clf, sub.X)
+	pred := model.PredictBatchInto(clf, sub.X, ev.predA)
+	ev.predA = pred
 	scores := constraint.Scores{
 		F1:          metrics.F1Score(sub.Y, pred),
 		EO:          metrics.EqualOpportunity(sub.Y, pred, sub.Sensitive),
@@ -372,7 +569,7 @@ func (ev *Evaluator) scoreOn(clf model.Classifier, part *dataset.Dataset, mask [
 		Safety:      1,
 	}
 	if ev.scn.Constraints.HasSafety() {
-		s, err := ev.measureSafety(clf, sub, effFeatures)
+		s, err := ev.measureSafety(clf, sub, effFeatures, rng)
 		if err != nil {
 			return constraint.Scores{}, nil, err
 		}
@@ -381,9 +578,8 @@ func (ev *Evaluator) scoreOn(clf model.Classifier, part *dataset.Dataset, mask [
 	return scores, ev.customScores(clf, sub, pred, scores.FeatureFrac), nil
 }
 
-// measureSafety runs the evasion attack on (a sample of) part and charges
-// its cost against the meter.
-func (ev *Evaluator) measureSafety(clf model.Classifier, part *dataset.Dataset, effFeatures float64) (float64, error) {
+// chargeAttack charges the cost of one empirical-robustness measurement.
+func (ev *Evaluator) chargeAttack(effFeatures float64) error {
 	instances := ev.scn.AttackInstances
 	if instances <= 0 {
 		instances = 8
@@ -391,18 +587,29 @@ func (ev *Evaluator) measureSafety(clf model.Classifier, part *dataset.Dataset, 
 	// A HopSkipJump run spends on the order of 100 queries per instance with
 	// the default config (init scan + bisections + gradient samples).
 	const queriesPerInstance = 100
-	if err := ev.charge(budget.AttackCost(instances, queriesPerInstance,
-		ev.scn.Split.Train.NominalRows()/5, effFeatures)); err != nil {
+	return ev.charge(budget.AttackCost(instances, queriesPerInstance,
+		ev.scn.Split.Train.NominalRows()/5, effFeatures))
+}
+
+// measureSafety runs the evasion attack on (a sample of) part and charges
+// its cost against the meter.
+func (ev *Evaluator) measureSafety(clf model.Classifier, part *dataset.Dataset, effFeatures float64, rng *xrand.RNG) (float64, error) {
+	if err := ev.chargeAttack(effFeatures); err != nil {
 		return 0, err
 	}
-	s, _ := attack.EmpiricalRobustness(clf, part, instances, attack.DefaultConfig(), ev.rng.Split())
+	instances := ev.scn.AttackInstances
+	if instances <= 0 {
+		instances = 8
+	}
+	s, _ := attack.EmpiricalRobustness(clf, part, instances, attack.DefaultConfig(), rng.Split())
 	return s, nil
 }
 
-// newClassifier instantiates the (possibly differentially private) model.
-func (ev *Evaluator) newClassifier(spec model.Spec) (model.Classifier, error) {
+// newClassifier instantiates the (possibly differentially private) model,
+// drawing DP noise from the given per-subset stream.
+func (ev *Evaluator) newClassifier(spec model.Spec, rng *xrand.RNG) (model.Classifier, error) {
 	if ev.scn.Constraints.HasPrivacy() {
-		return privacy.New(spec, ev.scn.Constraints.PrivacyEps, ev.rng)
+		return privacy.New(spec, ev.scn.Constraints.PrivacyEps, rng)
 	}
 	return model.New(spec)
 }
@@ -426,23 +633,31 @@ func (ev *Evaluator) ChargeRanking(family budget.RankingFamily) error {
 // ChargeTraining charges one model-training's cost over the selected
 // feature count; RFE uses it for its per-round ranking model.
 func (ev *Evaluator) ChargeTraining(selectedCount int) error {
-	effFeatures := float64(selectedCount) / float64(ev.NumFeatures()) *
-		float64(ev.scn.Split.Train.NominalFeatures())
-	return ev.charge(budget.TrainCost(ev.scn.Split.Train.NominalRows()*3/5, effFeatures, ev.scn.kindFactor()))
+	return ev.charge(budget.TrainCost(ev.scn.Split.Train.NominalRows()*3/5,
+		ev.trainEff(selectedCount), ev.scn.kindFactor()))
 }
 
 // ChargePermutationOverhead charges the extra evaluations permutation
 // importance needs (the NB-under-RFE overhead the paper calls out in §6.3).
 func (ev *Evaluator) ChargePermutationOverhead(selectedCount, repeats int) error {
-	effFeatures := float64(selectedCount) / float64(ev.NumFeatures()) *
-		float64(ev.scn.Split.Train.NominalFeatures())
+	effFeatures := ev.trainEff(selectedCount)
 	nomRows := ev.scn.Split.Train.NominalRows() * 3 / 5
 	return ev.charge(float64(selectedCount*repeats) * budget.EvalCost(nomRows, effFeatures))
 }
 
+// TrainView returns the training split restricted to the mask's selected
+// features, served from the evaluator's selection cache when the subset was
+// just evaluated (the RFE ranking pattern).
+func (ev *Evaluator) TrainView(mask []bool, sel []int) *dataset.Dataset {
+	return ev.trainViews.Select(ev.maskKeyBytes(mask), sel)
+}
+
 // EvaluateOnTest measures a candidate's scores on the test split without
 // charging the budget — post-hoc reporting for the failure analysis
-// (Table 4). The model is retrained on the candidate's subset.
+// (Table 4). The model is retrained on the candidate's subset, unless a
+// shared memo already carries the subset's test scores; either way the
+// safety attack, when declared, is charged exactly once, mirroring the
+// physical path.
 func (ev *Evaluator) EvaluateOnTest(c *Candidate) (constraint.Scores, error) {
 	if c == nil {
 		return constraint.Scores{}, fmt.Errorf("core: nil candidate")
@@ -454,26 +669,51 @@ func (ev *Evaluator) EvaluateOnTest(c *Candidate) (constraint.Scores, error) {
 	if len(sel) == 0 {
 		return constraint.Scores{}, fmt.Errorf("core: empty candidate")
 	}
-	train := ev.scn.Split.Train.SelectFeatures(sel)
+	key := ev.maskKeyBytes(c.Mask)
+	var mk memoKey
+	if ev.shared != nil {
+		mk = ev.memoKeyFor(key)
+		if test, _, ok := ev.shared.lookupTest(mk); ok {
+			// The physical path charges the attack inside scoreOn even with
+			// charge=false; replay it so spend trajectories stay identical.
+			if ev.scn.Constraints.HasSafety() {
+				eff := float64(len(sel)) / float64(ev.NumFeatures()) *
+					float64(ev.scn.Split.Test.NominalFeatures())
+				if err := ev.chargeAttack(eff); err != nil {
+					return constraint.Scores{}, err
+				}
+			}
+			c.Test = test
+			c.TestEvaluated = true
+			return test, nil
+		}
+	}
+	rng := ev.evalRNG(key)
+	train := ev.trainViews.Select(key, sel)
+	val := ev.valViews.Select(key, sel)
 	var bestClf model.Classifier
 	bestF1 := math.Inf(-1)
-	val := ev.scn.Split.Val.SelectFeatures(sel)
 	for _, spec := range ev.scn.specs() {
-		clf, err := ev.newClassifier(spec)
+		clf, err := ev.newClassifier(spec, rng)
 		if err != nil {
 			return constraint.Scores{}, err
 		}
 		if err := clf.Fit(train); err != nil {
 			return constraint.Scores{}, err
 		}
-		f1 := metrics.F1Score(val.Y, model.PredictBatch(clf, val.X))
+		pred := model.PredictBatchInto(clf, val.X, ev.predA)
+		ev.predA = pred
+		f1 := metrics.F1Score(val.Y, pred)
 		if f1 > bestF1 {
 			bestClf, bestF1 = clf, f1
 		}
 	}
-	scores, _, err := ev.scoreOn(bestClf, ev.scn.Split.Test, c.Mask, sel, false)
+	scores, testCustom, err := ev.scoreOn(bestClf, ev.scn.Split.Test, sel, false, rng)
 	if err != nil {
 		return constraint.Scores{}, err
+	}
+	if ev.shared != nil {
+		ev.shared.attachTest(mk, scores, testCustom)
 	}
 	c.Test = scores
 	c.TestEvaluated = true

@@ -88,10 +88,14 @@ func runProtected(s Strategy, ev *Evaluator, rng *xrand.RNG) (err error) {
 // within one evaluation of cancellation. A canceled context returns ctx.Err()
 // (not a partial result); other failures surface as *StrategyError.
 func RunStrategyWithMeterContext(ctx context.Context, s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) (RunResult, error) {
+	return runStrategyWithMeterMemoContext(ctx, s, scn, meter, seed, maxEvals, nil)
+}
+
+func runStrategyWithMeterMemoContext(ctx context.Context, s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int, memo *SharedMemo) (RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
-	res, err := RunStrategyWithMeter(s, scn, budget.WithContext(ctx, meter), seed, maxEvals)
+	res, err := runStrategyWithMeterMemo(s, scn, budget.WithContext(ctx, meter), seed, maxEvals, memo)
 	if cerr := ctx.Err(); cerr != nil {
 		return RunResult{}, cerr
 	}
@@ -104,13 +108,22 @@ func RunStrategyWithMeterContext(ctx context.Context, s Strategy, scn *Scenario,
 // PerturbSeed-derived seed) when the failure is classified IsTransient.
 // With a fault-free strategy it is byte-identical to RunStrategy.
 func RunStrategyContext(ctx context.Context, s Strategy, scn *Scenario, seed uint64, maxEvals int) (RunResult, error) {
+	return RunStrategySharedContext(ctx, s, scn, nil, seed, maxEvals)
+}
+
+// RunStrategySharedContext is RunStrategyContext against a shared
+// trained-subset memo (nil means a fully private cache). The memo key pins
+// the seed, so a transiently retried attempt (perturbed seed) never reuses
+// entries trained under the original seed; the results are byte-identical to
+// memo-less runs either way.
+func RunStrategySharedContext(ctx context.Context, s Strategy, scn *Scenario, memo *SharedMemo, seed uint64, maxEvals int) (RunResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= DefaultTransientRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return RunResult{}, err
 		}
 		meter := budget.NewSim(scn.Constraints.MaxSearchCost)
-		res, err := RunStrategyWithMeterContext(ctx, s, scn, meter, PerturbSeed(seed, attempt), maxEvals)
+		res, err := runStrategyWithMeterMemoContext(ctx, s, scn, meter, PerturbSeed(seed, attempt), maxEvals, memo)
 		if err == nil {
 			return res, nil
 		}

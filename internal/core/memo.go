@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// physical is the machine-level outcome of training one feature subset: the
+// validation scores of the best grid member, the custom-constraint scores,
+// and — once the subset has been confirmed (or post-hoc evaluated) on the
+// test split — the test-side scores. It is a pure function of the memo key
+// because every random draw of an evaluation (DP noise, attack sampling) is
+// derived from (evaluator seed, mask) rather than from a sequential stream.
+type physical struct {
+	val        constraint.Scores
+	valCustom  []float64
+	test       constraint.Scores
+	testCustom []float64
+	hasTest    bool
+}
+
+// memoKey identifies one trained subset across the strategies of a scenario.
+// The mask is bit-packed (see maskKeyBytes); kind, the HPO flag, and the
+// privacy ε pin the model grid that was trained; the seed pins the random
+// draws, so a transiently retried strategy (perturbed seed) never reuses
+// entries computed under the original seed.
+type memoKey struct {
+	mask string
+	kind model.Kind
+	hpo  bool
+	eps  float64
+	seed uint64
+}
+
+// memoEntry is one slot of the shared memo. ready is closed when the owner
+// either commits the physical result (ok == true) or abandons the slot
+// (entry deleted); waiters re-check under the memo lock after waking.
+type memoEntry struct {
+	ready chan struct{}
+	ok    bool
+	phys  physical
+}
+
+// SharedMemo is the cross-strategy trained-subset memoization layer: all
+// strategies of one scenario (benchmark pool record, portfolio run) share
+// the physical result of trainAndScore so a subset any member already
+// trained is never retrained. Only real compute is shared — every
+// evaluator still charges its own simulated budget meter the full Eq. 1
+// cost of a memoized subset, so CostAtSolution, coverage, and every paper
+// table are bit-identical to fully private caches (see DESIGN.md §9).
+//
+// The memo is concurrency-safe and deduplicates in-flight work: when two
+// strategies reach the same untrained subset concurrently, one becomes the
+// owner and trains while the other waits for the committed result instead
+// of training a duplicate.
+//
+// A SharedMemo must only be shared between evaluators of the same scenario
+// and seed; the key guards the model grid, privacy ε, and seed, but not the
+// dataset split or custom-constraint set.
+type SharedMemo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*memoEntry
+	hits    int
+	trained int
+}
+
+// NewSharedMemo returns an empty memoization layer.
+func NewSharedMemo() *SharedMemo {
+	return &SharedMemo{entries: make(map[memoKey]*memoEntry)}
+}
+
+// Stats reports the number of committed subsets and the number of times an
+// evaluator was served a subset another strategy trained.
+func (m *SharedMemo) Stats() (trained, hits int) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trained, m.hits
+}
+
+// acquire claims the key. It returns (phys, true, nil) when a committed
+// result is available — a hit; (zero, false, entry) when the caller became
+// the owner and must compute then commit or abandon; and (zero, false, nil)
+// when another evaluator owns the in-flight slot — the caller should wait on
+// the returned channel via wait and retry.
+func (m *SharedMemo) acquire(k memoKey) (physical, bool, *memoEntry, <-chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[k]; ok {
+		if e.ok {
+			m.hits++
+			return e.phys, true, nil, nil
+		}
+		return physical{}, false, nil, e.ready
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	m.entries[k] = e
+	return physical{}, false, e, nil
+}
+
+// commit publishes the owner's result and wakes the waiters.
+func (m *SharedMemo) commit(k memoKey, e *memoEntry, p physical) {
+	m.mu.Lock()
+	e.phys = p
+	e.ok = true
+	m.trained++
+	m.mu.Unlock()
+	close(e.ready)
+}
+
+// abandon releases an owned slot without a result (training failed: budget
+// exhausted mid-grid, corrupted data, panic). Waiters wake, find the key
+// vacant, and compute for themselves — exactly what they would have done
+// with a private cache.
+func (m *SharedMemo) abandon(k memoKey, e *memoEntry) {
+	m.mu.Lock()
+	delete(m.entries, k)
+	m.mu.Unlock()
+	close(e.ready)
+}
+
+// lookupTest returns the committed test-side scores for the key, if any.
+func (m *SharedMemo) lookupTest(k memoKey) (constraint.Scores, []float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[k]; ok && e.ok && e.phys.hasTest {
+		m.hits++
+		return e.phys.test, e.phys.testCustom, true
+	}
+	return constraint.Scores{}, nil, false
+}
+
+// attachTest adds post-hoc test scores (EvaluateOnTest) to a committed
+// entry that was never test-confirmed, so sibling strategies reporting the
+// same best candidate skip the retraining too. Within one scenario the test
+// path is unique per mask — a subset either satisfies on validation
+// (confirmed during evaluation) or not (evaluated post hoc) — so the first
+// writer's values equal any later writer's and the update is idempotent.
+func (m *SharedMemo) attachTest(k memoKey, test constraint.Scores, testCustom []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[k]
+	if !ok || !e.ok || e.phys.hasTest {
+		return
+	}
+	e.phys.test = test
+	e.phys.testCustom = testCustom
+	e.phys.hasTest = true
+}

@@ -198,7 +198,9 @@ func (rfeStrategy) Run(ev *Evaluator, rng *xrand.RNG) error {
 		if err := ev.ChargeTraining(len(sel)); err != nil {
 			return nil, err
 		}
-		sub := scn.Split.Train.SelectFeatures(sel)
+		// RFE ranks the subset it just evaluated, so the evaluator's
+		// selection cache serves the feature-selected view without a copy.
+		sub := ev.TrainView(mask, sel)
 		scores, err := imp.Rank(sub, rng.Split())
 		if err != nil {
 			return nil, err
@@ -253,9 +255,18 @@ func RunStrategy(s Strategy, scn *Scenario, seed uint64, maxEvals int) (RunResul
 // recovered panic, is returned as a *StrategyError instead of crashing the
 // process.
 func RunStrategyWithMeter(s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int) (RunResult, error) {
+	return runStrategyWithMeterMemo(s, scn, meter, seed, maxEvals, nil)
+}
+
+// runStrategyWithMeterMemo is RunStrategyWithMeter with an optional shared
+// trained-subset memo; the result is byte-identical with or without it.
+func runStrategyWithMeterMemo(s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int, memo *SharedMemo) (RunResult, error) {
 	ev, err := NewEvaluator(scn, meter, seed, maxEvals)
 	if err != nil {
 		return RunResult{}, err
+	}
+	if memo != nil {
+		ev.UseShared(memo)
 	}
 	if err := runProtected(s, ev, xrand.NewStream(seed, 0x57a7)); err != nil &&
 		!errors.Is(err, budget.ErrExhausted) {

@@ -1,0 +1,45 @@
+package dataset
+
+// SelectionCache memoizes the most recent feature-selected views of one
+// dataset. SelectFeatures copies the selected columns into a fresh matrix,
+// and the evaluator's hot path re-selects the same subset in quick
+// succession — once to train, once for RFE's ranking, once for a post-hoc
+// test evaluation — so a tiny MRU cache removes most of those copies.
+//
+// Keys are the evaluator's bit-packed mask bytes; lookups compare against
+// the stored key without allocating (string conversion of a []byte compared
+// with == compiles to a byte comparison). Two entries suffice for the
+// observed access patterns (current subset + the neighbor being probed).
+//
+// Cached views are safe to share because every consumer treats datasets as
+// read-only: attacks copy rows before perturbing and permutation importance
+// clones the matrix.
+type SelectionCache struct {
+	base    *Dataset
+	entries [2]selectionEntry
+	next    int
+}
+
+type selectionEntry struct {
+	key  string
+	view *Dataset
+}
+
+// NewSelectionCache wraps base with an empty cache.
+func NewSelectionCache(base *Dataset) *SelectionCache {
+	return &SelectionCache{base: base}
+}
+
+// Select returns the base dataset restricted to cols, serving a cached view
+// when key matches a recent selection. key must uniquely determine cols.
+func (c *SelectionCache) Select(key []byte, cols []int) *Dataset {
+	for i := range c.entries {
+		if e := &c.entries[i]; e.view != nil && e.key == string(key) {
+			return e.view
+		}
+	}
+	view := c.base.SelectFeatures(cols)
+	c.entries[c.next] = selectionEntry{key: string(key), view: view}
+	c.next = (c.next + 1) % len(c.entries)
+	return view
+}

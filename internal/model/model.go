@@ -44,7 +44,19 @@ type Importancer interface {
 
 // PredictBatch applies c to every row of x.
 func PredictBatch(c Classifier, x *linalg.Matrix) []int {
-	out := make([]int, x.Rows)
+	return PredictBatchInto(c, x, nil)
+}
+
+// PredictBatchInto applies c to every row of x, reusing buf's storage when it
+// has enough capacity. The returned slice aliases buf in that case, so
+// callers that keep predictions across calls must pass distinct buffers.
+func PredictBatchInto(c Classifier, x *linalg.Matrix, buf []int) []int {
+	var out []int
+	if cap(buf) >= x.Rows {
+		out = buf[:x.Rows]
+	} else {
+		out = make([]int, x.Rows)
+	}
 	for i := 0; i < x.Rows; i++ {
 		out[i] = c.Predict(x.Row(i))
 	}
