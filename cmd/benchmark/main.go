@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -30,6 +31,7 @@ import (
 
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/report"
 	"github.com/declarative-fs/dfs/internal/synth"
 )
@@ -45,6 +47,9 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all 19)")
 	reportPath := flag.String("report", "", "write the paper-vs-measured EXPERIMENTS report to this file")
 	dumpPath := flag.String("dump", "", "write the raw HPO scenario pool as CSV to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /metrics, /progress on this address (e.g. 127.0.0.1:8090)")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the run to this file")
+	progressEvery := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -65,28 +70,103 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Observability is opt-in: without any of the three flags the context
+	// carries no runtime and the pools run on the uninstrumented path.
+	ctx, cleanup, err := setupObs(ctx, *debugAddr, *tracePath, *progressEvery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		cleanup()
+		os.Exit(code)
+	}
+
 	r := &runner{ctx: ctx, cfg: cfg, outDir: *outDir, grid: *grid, figure1N: *figure1N, seed: *seed}
 	if err := r.run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		if errors.Is(err, errInterrupted) {
-			os.Exit(130)
+			exit(130)
 		}
-		os.Exit(1)
+		exit(1)
 	}
 	if *reportPath != "" {
 		if err := r.writeReport(*reportPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "# wrote report to %s\n", *reportPath)
 	}
 	if *dumpPath != "" {
 		if err := r.dumpPool(*dumpPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "# wrote raw pool to %s\n", *dumpPath)
 	}
+	cleanup()
+}
+
+// setupObs wires the opt-in observability surface: a JSONL tracer (-trace),
+// the debug HTTP listener (-debug-addr), and a periodic progress line
+// (-progress). It returns the runtime-carrying context and a cleanup that
+// flushes the trace and stops the listener; when no flag is set the context
+// is returned untouched and cleanup is a no-op.
+func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery time.Duration) (context.Context, func(), error) {
+	if debugAddr == "" && tracePath == "" && progressEvery <= 0 {
+		return ctx, func() {}, nil
+	}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	var opts []obs.Option
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return ctx, func() {}, err
+		}
+		bw := bufio.NewWriter(f)
+		tracer = obs.NewWriterTracer(bw)
+		opts = append(opts, obs.WithTracer(tracer))
+		cleanups = append(cleanups, func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchmark: trace:", err)
+			}
+			bw.Flush()
+			f.Close()
+		})
+	}
+	rt := obs.New(opts...)
+	ctx = obs.NewContext(ctx, rt)
+	if debugAddr != "" {
+		srv, err := obs.StartDebug(debugAddr, rt)
+		if err != nil {
+			cleanup()
+			return ctx, func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "# debug listener on http://%s (pprof, /metrics, /progress)\n", srv.Addr())
+		cleanups = append(cleanups, func() { srv.Close() })
+	}
+	if progressEvery > 0 {
+		t := time.NewTicker(progressEvery)
+		stopped := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stopped:
+					return
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, rt.Progress().Line())
+				}
+			}
+		}()
+		cleanups = append(cleanups, func() { t.Stop(); close(stopped) })
+	}
+	return ctx, cleanup, nil
 }
 
 // dumpPool writes the HPO pool's raw per-strategy outcomes as CSV.
@@ -379,6 +459,7 @@ func (r *runner) getOptimizerEval() (*bench.OptimizerEval, error) {
 }
 
 func (r *runner) buildPool(label string, cfg bench.Config) (*bench.Pool, error) {
+	cfg.Label = label
 	fmt.Fprintf(os.Stderr, "# building %s pool: %d scenarios on %d datasets...\n",
 		label, cfg.Scenarios, len(cfg.Datasets))
 	start := time.Now()

@@ -26,6 +26,8 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +36,7 @@ import (
 	"strings"
 
 	dfs "github.com/declarative-fs/dfs"
+	"github.com/declarative-fs/dfs/internal/obs"
 )
 
 type spec struct {
@@ -67,6 +70,8 @@ type output struct {
 func main() {
 	specPath := flag.String("spec", "", "path to the JSON scenario spec ('-' for stdin)")
 	list := flag.Bool("list", false, "list built-in datasets and strategies, then exit")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /metrics, /progress on this address while the run lasts")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -84,13 +89,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dfs: -spec is required (see -h)")
 		os.Exit(2)
 	}
-	if err := run(*specPath); err != nil {
+	if err := run(*specPath, *debugAddr, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "dfs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath string) error {
+// setupObs builds the optional runtime-carrying context for the run; the
+// returned cleanup flushes the trace and stops the debug listener.
+func setupObs(ctx context.Context, debugAddr, tracePath string) (context.Context, func(), error) {
+	if debugAddr == "" && tracePath == "" {
+		return ctx, func() {}, nil
+	}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	var opts []obs.Option
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return ctx, func() {}, err
+		}
+		bw := bufio.NewWriter(f)
+		tracer := obs.NewWriterTracer(bw)
+		opts = append(opts, obs.WithTracer(tracer))
+		cleanups = append(cleanups, func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "dfs: trace:", err)
+			}
+			bw.Flush()
+			f.Close()
+		})
+	}
+	rt := obs.New(opts...)
+	ctx = obs.NewContext(ctx, rt)
+	if debugAddr != "" {
+		srv, err := obs.StartDebug(debugAddr, rt)
+		if err != nil {
+			cleanup()
+			return ctx, func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "# debug listener on http://%s (pprof, /metrics, /progress)\n", srv.Addr())
+		cleanups = append(cleanups, func() { srv.Close() })
+	}
+	return ctx, cleanup, nil
+}
+
+func run(specPath, debugAddr, tracePath string) error {
 	var raw []byte
 	var err error
 	if specPath == "-" {
@@ -145,7 +193,12 @@ func run(specPath string) error {
 	if err != nil {
 		return err
 	}
-	sel, err := dfs.Select(d, kind, cs, opts...)
+	ctx, cleanup, err := setupObs(context.Background(), debugAddr, tracePath)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	sel, err := dfs.SelectContext(ctx, d, kind, cs, opts...)
 	if err != nil {
 		return err
 	}

@@ -86,17 +86,17 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(path, []byte(specJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path); err != nil {
+	if err := run(path, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "", ""); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad); err == nil {
+	if err := run(bad, "", ""); err == nil {
 		t.Fatal("malformed spec accepted")
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/dataset"
 	"github.com/declarative-fs/dfs/internal/metrics"
 	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/synth"
 )
 
@@ -312,12 +313,16 @@ func Select(d *Dataset, kind ModelKind, cs Constraints, opts ...Option) (*Select
 // identical to Select's.
 func SelectContext(ctx context.Context, d *Dataset, kind ModelKind, cs Constraints, opts ...Option) (*Selection, error) {
 	o := buildOptions(opts)
+	ctx, end := apiSpan(ctx, "select",
+		obs.Str("strategy", o.strategy), obs.Str("model", string(kind)))
 	scn, err := newScenario(d, kind, cs, o)
 	if err != nil {
+		end(nil, err)
 		return nil, err
 	}
 	s, err := newStrategy(o.strategy)
 	if err != nil {
+		end(nil, err)
 		return nil, err
 	}
 	var res core.RunResult
@@ -327,9 +332,39 @@ func SelectContext(ctx context.Context, d *Dataset, kind ModelKind, cs Constrain
 		res, err = core.RunStrategyContext(ctx, s, scn, o.seed, o.maxEvals)
 	}
 	if err != nil {
+		end(nil, err)
 		return nil, err
 	}
-	return toSelection(d, res), nil
+	sel := toSelection(d, res)
+	end(sel, nil)
+	return sel, nil
+}
+
+// apiSpan opens a span for one public API call and returns the span-carrying
+// context plus a closer that records the outcome. Without a runtime in ctx
+// both are free: the closer is a shared no-op and ctx is returned untouched.
+func apiSpan(ctx context.Context, name string, attrs ...obs.Attr) (context.Context, func(sel *Selection, err error)) {
+	rt := obs.FromContext(ctx)
+	if rt == nil {
+		return ctx, func(*Selection, error) {}
+	}
+	span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), name, attrs...)
+	return obs.ContextWithSpan(ctx, span), func(sel *Selection, err error) {
+		switch {
+		case err != nil:
+			rt.Tracer().EndSpan(span,
+				obs.Str("status", "error"),
+				obs.Str("category", string(core.Classify(err))),
+				obs.Str("error", err.Error()))
+		case sel != nil && sel.Satisfied:
+			rt.Tracer().EndSpan(span,
+				obs.Str("status", "satisfied"),
+				obs.Str("strategy", sel.Strategy),
+				obs.Float("cost", sel.Cost))
+		default:
+			rt.Tracer().EndSpan(span, obs.Str("status", "unsatisfied"))
+		}
+	}
 }
 
 // RunPortfolio runs several strategies on the same scenario — each with its
@@ -355,12 +390,15 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 		strategies = []string{"TPE(FCBF)", "SFFS(NR)", "TPE(NR)", "TPE(MIM)", "SA(NR)"}
 	}
 	o := buildOptions(opts)
+	ctx, end := apiSpan(ctx, "portfolio",
+		obs.Int("members", int64(len(strategies))), obs.Str("model", string(kind)))
 	// One scenario serves every member: the split, constraints, and custom
 	// metrics are identical across strategies, and runs never mutate the
 	// scenario (per-run state lives in each member's evaluator). Sharing it
 	// is what lets the trained-subset memo deduplicate across members.
 	scn, err := newScenario(d, kind, cs, o)
 	if err != nil {
+		end(nil, err)
 		return nil, err
 	}
 	var memo *core.SharedMemo
@@ -393,9 +431,11 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		end(nil, err)
 		return nil, err
 	}
 
+	rt := obs.FromContext(ctx)
 	report := make([]StrategyReport, len(strategies))
 	var best *Selection
 	var failures []error
@@ -405,6 +445,12 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 			r.Status = StrategyFailed
 			r.Err = out.err
 			failures = append(failures, fmt.Errorf("%s: %w", strategies[i], out.err))
+			if rt != nil {
+				rt.Metrics().Counter("portfolio.degraded").Inc()
+				rt.Tracer().Event(obs.SpanFromContext(ctx), "degradation",
+					obs.Str("strategy", strategies[i]),
+					obs.Str("category", string(core.Classify(out.err))))
+			}
 		} else {
 			r.Cost = out.sel.Cost
 			if out.sel.Satisfied {
@@ -419,10 +465,13 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 		report[i] = r
 	}
 	if best == nil {
-		return nil, fmt.Errorf("dfs: all %d portfolio strategies failed: %w",
+		err := fmt.Errorf("dfs: all %d portfolio strategies failed: %w",
 			len(strategies), errors.Join(failures...))
+		end(nil, err)
+		return nil, err
 	}
 	best.Report = report
+	end(best, nil)
 	return best, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/core"
 	"github.com/declarative-fs/dfs/internal/dataset"
 	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/optimizer"
 	"github.com/declarative-fs/dfs/internal/synth"
 	"github.com/declarative-fs/dfs/internal/xrand"
@@ -46,6 +47,9 @@ type Config struct {
 	// identical either way — sharing only skips redundant physical training —
 	// so this is a debugging/verification escape hatch, not a semantic knob.
 	NoEvalSharing bool
+	// Label names the pool in traces and progress reports (e.g. "HPO");
+	// empty means "pool". It never affects the run itself.
+	Label string
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +90,10 @@ type Record struct {
 	// (panic, corrupted data, retries exhausted); such strategies are absent
 	// from Results and count as unsatisfied in every analysis.
 	Failures map[string]string
+	// FailureKinds maps each Failures entry to its taxonomy category
+	// (core.Classify), so the pool CSV, the obs failure counters, and trace
+	// spans attribute a casualty with one vocabulary.
+	FailureKinds map[string]core.FailureCategory
 	// Err is a scenario-level failure (dataset generation, scenario
 	// construction, featurization): the whole record is a casualty, excluded
 	// from the analyses, and the pool carries on.
@@ -248,6 +256,7 @@ func BuildPool(cfg Config) (*Pool, error) {
 // when nothing survives — every completed scenario failed.
 func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 	cfg = cfg.withDefaults()
+	po, ctx := newPoolObs(ctx, cfg)
 	cache := &datasetCache{data: make(map[string]*dataset.Dataset), seed: cfg.Seed}
 	records := make([]Record, cfg.Scenarios)
 	done := make([]bool, cfg.Scenarios)
@@ -265,10 +274,18 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 	for i := 0; i < cfg.Scenarios && ctx.Err() == nil; i++ {
 		wg.Add(1)
 		scenarios <- struct{}{}
+		if po != nil {
+			po.scenariosInFlight.Add(1)
+		}
 		go func(i int) {
 			defer wg.Done()
-			defer func() { <-scenarios }()
-			rec, err := runScenario(ctx, cfg, cache, i, slots)
+			defer func() {
+				if po != nil {
+					po.scenariosInFlight.Add(-1)
+				}
+				<-scenarios
+			}()
+			rec, err := runScenario(ctx, cfg, cache, i, slots, po)
 			if err != nil {
 				// Only cancellation aborts a scenario without a record;
 				// everything else is recorded inside rec.
@@ -291,6 +308,7 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 		}
 		pool.Records = append(pool.Records, records[i])
 	}
+	po.endPool(pool)
 	if !pool.Interrupted && failed == len(pool.Records) && failed > 0 {
 		return nil, fmt.Errorf("bench: all %d scenarios failed; first: %s", failed, pool.Records[0].Err)
 	}
@@ -301,18 +319,20 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 // concurrently on the pool-wide execution slots. The returned error is
 // non-nil only for cancellation; operational failures are recorded in the
 // Record so the pool degrades instead of dying.
-func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, slots chan struct{}) (Record, error) {
+func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, slots chan struct{}, po *poolObs) (rec Record, err error) {
 	rng := xrand.NewStream(cfg.Seed, uint64(i)*2+1)
 	name := cfg.Datasets[rng.Intn(len(cfg.Datasets))]
 	kind := model.Kinds[rng.Intn(len(model.Kinds))]
 	cs := constraint.Sample(rng, cfg.Sampler)
 
-	rec := Record{
+	rec = Record{
 		ID:          i,
 		Dataset:     name,
 		Model:       kind,
 		Constraints: cs,
 	}
+	ctx = po.scenarioSpan(ctx, &rec)
+	defer func() { po.endScenario(ctx, &rec, err) }()
 	d, err := cache.get(name)
 	if err != nil {
 		rec.Err = fmt.Sprintf("dataset %s: %v", name, err)
@@ -343,7 +363,15 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 			defer wg.Done()
 			select {
 			case slots <- struct{}{}:
-				defer func() { <-slots }()
+				if po != nil {
+					po.slotsInFlight.Add(1)
+				}
+				defer func() {
+					if po != nil {
+						po.slotsInFlight.Add(-1)
+					}
+					<-slots
+				}()
 			case <-ctx.Done():
 				errs[j] = ctx.Err()
 				return
@@ -365,6 +393,7 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 	}
 	rec.Results = make(map[string]core.RunResult, len(names))
 	for j, sName := range names {
+		po.strategyDone(ctx, sName, errs[j])
 		if errs[j] != nil {
 			rec.failStrategy(sName, errs[j])
 			continue
@@ -384,10 +413,120 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 // deterministic faults into pool runs.
 var newPoolStrategy = core.New
 
-// failStrategy records a strategy-run casualty.
+// failStrategy records a strategy-run casualty: the message for humans and
+// the Classify category for analyses and metrics.
 func (r *Record) failStrategy(name string, err error) {
 	if r.Failures == nil {
 		r.Failures = make(map[string]string)
+		r.FailureKinds = make(map[string]core.FailureCategory)
 	}
 	r.Failures[name] = err.Error()
+	r.FailureKinds[name] = core.Classify(err)
+}
+
+// poolObs bundles the pool-level observability handles. A nil *poolObs is
+// the disabled state; every method is nil-safe so instrumentation points
+// stay single checks.
+type poolObs struct {
+	rt   *obs.Runtime
+	span obs.SpanID
+
+	scenariosInFlight *obs.Gauge // admission-level occupancy
+	slotsInFlight     *obs.Gauge // execution-level occupancy (strategy runs)
+	scenarioFailures  *obs.Counter
+	degraded          *obs.Counter // strategy casualties absorbed by degradation
+}
+
+func newPoolObs(ctx context.Context, cfg Config) (*poolObs, context.Context) {
+	rt := obs.FromContext(ctx)
+	if rt == nil {
+		return nil, ctx
+	}
+	label := cfg.Label
+	if label == "" {
+		label = "pool"
+	}
+	span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "pool",
+		obs.Str("label", label),
+		obs.Int("scenarios", int64(cfg.Scenarios)),
+		obs.Int("workers", int64(cfg.Workers)),
+		obs.Bool("eval_sharing", !cfg.NoEvalSharing))
+	rt.Progress().BeginPool(label, cfg.Scenarios)
+	m := rt.Metrics()
+	p := &poolObs{
+		rt:                rt,
+		span:              span,
+		scenariosInFlight: m.Gauge("pool.inflight.scenarios"),
+		slotsInFlight:     m.Gauge("pool.inflight.strategies"),
+		scenarioFailures:  m.Counter("pool.scenario_failures"),
+		degraded:          m.Counter("pool.degraded_strategies"),
+	}
+	return p, obs.ContextWithSpan(ctx, span)
+}
+
+// endPool closes the pool span and progress entry.
+func (p *poolObs) endPool(pool *Pool) {
+	if p == nil {
+		return
+	}
+	status := "done"
+	if pool.Interrupted {
+		status = "interrupted"
+	}
+	p.rt.Tracer().EndSpan(p.span,
+		obs.Str("status", status),
+		obs.Int("records", int64(len(pool.Records))))
+	p.rt.Progress().EndPool()
+}
+
+// scenarioSpan opens one scenario's span under the pool span.
+func (p *poolObs) scenarioSpan(ctx context.Context, rec *Record) context.Context {
+	if p == nil {
+		return ctx
+	}
+	span := p.rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "scenario",
+		obs.Int("scenario_id", int64(rec.ID)),
+		obs.Str("dataset", rec.Dataset),
+		obs.Str("model", string(rec.Model)),
+		obs.Str("constraints", rec.Constraints.String()))
+	return obs.ContextWithSpan(ctx, span)
+}
+
+// endScenario closes a scenario span and updates progress. Canceled
+// scenarios (err != nil) end the span but are not counted done: they left no
+// record.
+func (p *poolObs) endScenario(ctx context.Context, rec *Record, err error) {
+	if p == nil {
+		return
+	}
+	span := obs.SpanFromContext(ctx)
+	if err != nil {
+		p.rt.Tracer().EndSpan(span, obs.Str("status", "canceled"))
+		return
+	}
+	status := "done"
+	if rec.Failed() {
+		status = "failed"
+		p.scenarioFailures.Inc()
+	}
+	p.rt.Tracer().EndSpan(span,
+		obs.Str("status", status),
+		obs.Int("strategy_failures", int64(len(rec.Failures))))
+	p.rt.Progress().ScenarioDone(rec.Failed())
+}
+
+// strategyDone updates progress for one finished strategy run; casualties
+// additionally emit a degradation event on the scenario span so the trace
+// shows where the portfolio shrank.
+func (p *poolObs) strategyDone(ctx context.Context, name string, err error) {
+	if p == nil {
+		return
+	}
+	p.rt.Progress().StrategyDone(err != nil)
+	if err != nil {
+		p.degraded.Inc()
+		p.rt.Tracer().Event(obs.SpanFromContext(ctx), "degradation",
+			obs.Str("strategy", name),
+			obs.Str("category", string(core.Classify(err))))
+	}
 }

@@ -47,9 +47,32 @@ func TestPoolRecordsStrategyFailureAndContinues(t *testing.T) {
 		if r.Failures["SA(NR)"] == "" {
 			t.Fatalf("scenario %d did not record the SA(NR) failure", i)
 		}
+		if got := r.FailureKinds["SA(NR)"]; got != core.FailurePanic {
+			t.Fatalf("scenario %d classified the panic as %q", i, got)
+		}
 		// The other 15 strategies + baseline survive.
 		if len(r.Results) != len(core.StrategyNames) {
 			t.Fatalf("scenario %d has %d surviving results", i, len(r.Results))
+		}
+	}
+}
+
+// TestPoolClassifiesTransientExhaustion: a strategy that keeps failing
+// transiently until its retries run out lands in the transient-exhausted
+// bucket, not the generic internal one.
+func TestPoolClassifiesTransientExhaustion(t *testing.T) {
+	cfg := tinyConfig(core.ModeSatisfy, false)
+	cfg.Scenarios = 2
+	withPoolFault(t, faultinject.Fault{Kind: faultinject.TransientError}, "SBS(NR)")
+
+	p, err := BuildPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Records {
+		r := &p.Records[i]
+		if got := r.FailureKinds["SBS(NR)"]; got != core.FailureTransientExhausted {
+			t.Fatalf("scenario %d classified retry exhaustion as %q", i, got)
 		}
 	}
 }

@@ -1,0 +1,36 @@
+package budget
+
+// Observed wraps a meter so every accepted charge is reported to onCharge
+// with the charged amount. The observability layer uses it to count charge
+// points and histogram per-charge cost without the meter knowing anything
+// about metrics; rejected charges (invalid cost, context cancellation) are
+// not reported, so observed totals always match Spent deltas. With a nil
+// callback the meter is returned unchanged, keeping the uninstrumented path
+// wrapper-free.
+func Observed(m Meter, onCharge func(cost float64)) Meter {
+	if onCharge == nil {
+		return m
+	}
+	return &observedMeter{inner: m, onCharge: onCharge}
+}
+
+type observedMeter struct {
+	inner    Meter
+	onCharge func(cost float64)
+}
+
+func (m *observedMeter) Charge(cost float64) error {
+	err := m.inner.Charge(cost)
+	// ErrExhausted charges still count: the charge that crosses the limit is
+	// spent (see SimMeter.Charge); only invalid or canceled charges are not.
+	if err == nil || err == ErrExhausted {
+		m.onCharge(cost)
+	}
+	return err
+}
+
+func (m *observedMeter) Spent() float64 { return m.inner.Spent() }
+
+func (m *observedMeter) Limit() float64 { return m.inner.Limit() }
+
+func (m *observedMeter) Exhausted() bool { return m.inner.Exhausted() }

@@ -48,21 +48,32 @@ func (s Set) HasSafety() bool { return s.MinSafety > 0 }
 // HasPrivacy reports whether a differential privacy constraint is active.
 func (s Set) HasPrivacy() bool { return s.PrivacyEps > 0 }
 
-// Validate checks threshold ranges.
+// ValidationError reports a malformed constraint declaration. It is typed so
+// failure classification (core.Classify) can file these under the
+// constraint-violation category instead of the generic internal one.
+type ValidationError struct{ msg string }
+
+func (e *ValidationError) Error() string { return e.msg }
+
+func validationErrorf(format string, args ...any) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks threshold ranges; failures are *ValidationError.
 func (s Set) Validate() error {
 	switch {
 	case s.MinF1 < 0 || s.MinF1 > 1:
-		return fmt.Errorf("constraint: MinF1 %v out of [0,1]", s.MinF1)
+		return validationErrorf("constraint: MinF1 %v out of [0,1]", s.MinF1)
 	case s.MaxSearchCost <= 0:
-		return fmt.Errorf("constraint: MaxSearchCost %v must be positive", s.MaxSearchCost)
+		return validationErrorf("constraint: MaxSearchCost %v must be positive", s.MaxSearchCost)
 	case s.MaxFeatureFrac < 0 || s.MaxFeatureFrac > 1:
-		return fmt.Errorf("constraint: MaxFeatureFrac %v out of [0,1]", s.MaxFeatureFrac)
+		return validationErrorf("constraint: MaxFeatureFrac %v out of [0,1]", s.MaxFeatureFrac)
 	case s.MinEO < 0 || s.MinEO > 1:
-		return fmt.Errorf("constraint: MinEO %v out of [0,1]", s.MinEO)
+		return validationErrorf("constraint: MinEO %v out of [0,1]", s.MinEO)
 	case s.MinSafety < 0 || s.MinSafety > 1:
-		return fmt.Errorf("constraint: MinSafety %v out of [0,1]", s.MinSafety)
+		return validationErrorf("constraint: MinSafety %v out of [0,1]", s.MinSafety)
 	case s.PrivacyEps < 0:
-		return fmt.Errorf("constraint: PrivacyEps %v negative", s.PrivacyEps)
+		return validationErrorf("constraint: PrivacyEps %v negative", s.PrivacyEps)
 	}
 	return nil
 }

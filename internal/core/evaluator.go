@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/declarative-fs/dfs/internal/attack"
 	"github.com/declarative-fs/dfs/internal/budget"
@@ -99,6 +100,10 @@ type Evaluator struct {
 
 	best     *Candidate // lowest validation distance (then objective)
 	solution *Candidate // best test-confirmed satisfying subset
+
+	// obsv is the attached observability handle (see Observe); nil — the
+	// default — keeps every instrumentation point a single pointer check.
+	obsv *evalObs
 }
 
 // NewEvaluator builds an evaluator for the scenario. maxEvals, when
@@ -261,10 +266,19 @@ func (ev *Evaluator) evaluate(mask []bool) (float64, []float64, bool, error) {
 	p := ev.NumFeatures()
 	frac := float64(count) / float64(p)
 	if count == 0 {
+		if ev.obsv != nil {
+			ev.obsv.pruned.Inc()
+		}
 		v := pruneBase * 2
 		return v, ev.pruneMulti(v), false, nil
 	}
 	if !ev.noPruning && cs.HasFeatureCap() && frac > cs.MaxFeatureFrac {
+		if ev.obsv != nil {
+			// Counted but not traced: an exhaustive search under a tight cap
+			// prunes hundreds of thousands of subsets for free, which would
+			// dominate the trace without adding information.
+			ev.obsv.pruned.Inc()
+		}
 		capDist := (frac - cs.MaxFeatureFrac) * (frac - cs.MaxFeatureFrac)
 		v := pruneBase + capDist
 		return v, ev.pruneMulti(v), false, nil
@@ -273,6 +287,9 @@ func (ev *Evaluator) evaluate(mask []bool) (float64, []float64, bool, error) {
 	key := ev.maskKeyBytes(mask)
 	if e, ok := ev.cache[string(key)]; ok {
 		// Intra-strategy revisits stay free, with or without sharing.
+		if ev.obsv != nil {
+			ev.obsv.cached.Inc()
+		}
 		return e.value, e.multi, e.stop, nil
 	}
 
@@ -287,15 +304,30 @@ func (ev *Evaluator) evaluate(mask []bool) (float64, []float64, bool, error) {
 
 	mk := ev.memoKeyFor(key)
 	for {
+		if ev.obsv != nil {
+			// Every acquire is one lookup, so after a wake-up the re-acquire
+			// counts again — the invariant lookups == hits + misses + waits
+			// holds exactly, and hits + misses == decided lookups.
+			ev.obsv.memoLookups.Inc()
+		}
 		phys, hit, owned, ready := ev.shared.acquire(mk)
 		switch {
 		case hit:
+			if ev.obsv != nil {
+				ev.obsv.memoHits.Inc()
+			}
 			return ev.replayEvaluate(mask, key, count, phys)
 		case owned != nil:
+			if ev.obsv != nil {
+				ev.obsv.memoMisses.Inc()
+			}
 			return ev.computeEvaluate(mask, key, &mk, owned)
 		default:
 			// Another strategy is training this subset right now; wait for
 			// its commit (or abandonment) instead of duplicating the work.
+			if ev.obsv != nil {
+				ev.obsv.memoWaits.Inc()
+			}
 			<-ready
 		}
 	}
@@ -316,8 +348,31 @@ func (ev *Evaluator) computeEvaluate(mask []bool, key []byte, mk *memoKey, owned
 		}()
 	}
 	sel := selected(mask)
+	if o := ev.obsv; o != nil {
+		// trained is 1:1 with owner acquires (and with every physical
+		// training when sharing is off): incremented here, before anything
+		// can fail, and the event is emitted by defer so exhausted or
+		// errored trainings still appear in the trace.
+		o.trained.Inc()
+		memoState := "off"
+		if owned != nil {
+			memoState = "miss"
+		}
+		spent0 := ev.meter.Spent()
+		start := time.Now()
+		defer func() {
+			o.evalEvent(memoState, len(sel), ev.meter.Spent()-spent0, time.Since(start), err)
+		}()
+	}
 	rng := ev.evalRNG(key)
+	var t0 time.Time
+	if ev.obsv != nil {
+		t0 = time.Now()
+	}
 	clf, valScores, valCustom, err := ev.trainAndScore(sel, key, rng)
+	if ev.obsv != nil {
+		ev.obsv.trainTime.Observe(time.Since(t0).Seconds())
+	}
 	if err != nil {
 		return 0, nil, false, err
 	}
@@ -343,7 +398,14 @@ func (ev *Evaluator) computeEvaluate(mask []bool, key []byte, mk *memoKey, owned
 // real training — so the strategy's budget trajectory, SpentAt stamps, and
 // stop points are bit-identical to a private evaluation; only the physical
 // model fitting is skipped.
-func (ev *Evaluator) replayEvaluate(mask []bool, key []byte, selCount int, phys physical) (float64, []float64, bool, error) {
+func (ev *Evaluator) replayEvaluate(mask []bool, key []byte, selCount int, phys physical) (v float64, multi []float64, stop bool, err error) {
+	if o := ev.obsv; o != nil {
+		o.replayed.Inc()
+		spent0 := ev.meter.Spent()
+		defer func() {
+			o.evalEvent("hit", selCount, ev.meter.Spent()-spent0, 0, err)
+		}()
+	}
 	if err := ev.chargeTrainSequence(selCount); err != nil {
 		return 0, nil, false, err
 	}

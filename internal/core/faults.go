@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 
 	"github.com/declarative-fs/dfs/internal/budget"
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/xrand"
 )
 
@@ -57,6 +59,52 @@ func IsTransient(err error) bool {
 // runners grant a transiently failing strategy.
 const DefaultTransientRetries = 2
 
+// FailureCategory is the shared failure taxonomy of a strategy run. The same
+// vocabulary flows into bench.Record.FailureKinds, the obs failure counters,
+// and trace span attributes, so a failure looks identical everywhere it is
+// reported.
+type FailureCategory string
+
+const (
+	// FailurePanic is a recovered strategy panic (StrategyError.Panicked).
+	FailurePanic FailureCategory = "panic"
+	// FailureTimeout is a context cancellation or deadline expiry.
+	FailureTimeout FailureCategory = "timeout"
+	// FailureTransientExhausted is a transient fault that survived every
+	// perturbed-seed retry.
+	FailureTransientExhausted FailureCategory = "transient-exhausted"
+	// FailureConstraintViolation is a malformed constraint declaration
+	// (constraint.ValidationError).
+	FailureConstraintViolation FailureCategory = "constraint-violation"
+	// FailureInternal is every other failure.
+	FailureInternal FailureCategory = "internal"
+)
+
+// Classify maps a strategy-run error onto the failure taxonomy; nil maps to
+// the empty category. Order matters: a panic stays a panic even if its
+// message chain would match another class, and cancellation wins over
+// transience because a retry loop cut short by ctx was not exhausted.
+func Classify(err error) FailureCategory {
+	if err == nil {
+		return ""
+	}
+	var se *StrategyError
+	if errors.As(err, &se) && se.Panicked() {
+		return FailurePanic
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return FailureTimeout
+	}
+	if IsTransient(err) {
+		return FailureTransientExhausted
+	}
+	var ve *constraint.ValidationError
+	if errors.As(err, &ve) {
+		return FailureConstraintViolation
+	}
+	return FailureInternal
+}
+
 // PerturbSeed derives the deterministic retry seed for an attempt. Attempt 0
 // is the identity, so a fault-free run is byte-identical to the non-retrying
 // path; later attempts fold in a Weyl-sequence constant.
@@ -95,7 +143,8 @@ func runStrategyWithMeterMemoContext(ctx context.Context, s Strategy, scn *Scena
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
-	res, err := runStrategyWithMeterMemo(s, scn, budget.WithContext(ctx, meter), seed, maxEvals, memo)
+	res, err := runStrategyWithMeterMemoObs(s, scn, budget.WithContext(ctx, meter), seed, maxEvals, memo,
+		obs.FromContext(ctx), obs.SpanFromContext(ctx))
 	if cerr := ctx.Err(); cerr != nil {
 		return RunResult{}, cerr
 	}
@@ -117,20 +166,73 @@ func RunStrategyContext(ctx context.Context, s Strategy, scn *Scenario, seed uin
 // entries trained under the original seed; the results are byte-identical to
 // memo-less runs either way.
 func RunStrategySharedContext(ctx context.Context, s Strategy, scn *Scenario, memo *SharedMemo, seed uint64, maxEvals int) (RunResult, error) {
+	rt := obs.FromContext(ctx)
+	if rt != nil {
+		span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "strategy_run",
+			obs.Str("strategy", s.Name()),
+			obs.Int("seed", int64(seed)),
+			obs.Bool("shared_memo", memo != nil))
+		ctx = obs.ContextWithSpan(ctx, span)
+		rt.Metrics().Counter("strategy.runs").Inc()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= DefaultTransientRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
+			finishStrategyObs(rt, ctx, s.Name(), RunResult{}, err)
 			return RunResult{}, err
 		}
 		meter := budget.NewSim(scn.Constraints.MaxSearchCost)
 		res, err := runStrategyWithMeterMemoContext(ctx, s, scn, meter, PerturbSeed(seed, attempt), maxEvals, memo)
 		if err == nil {
+			finishStrategyObs(rt, ctx, s.Name(), res, nil)
 			return res, nil
 		}
 		lastErr = err
 		if !IsTransient(err) {
 			break
 		}
+		if rt != nil && attempt < DefaultTransientRetries {
+			rt.Metrics().Counter("strategy.retries").Inc()
+			rt.Tracer().Event(obs.SpanFromContext(ctx), "retry",
+				obs.Int("attempt", int64(attempt+1)),
+				obs.Str("error", err.Error()))
+		}
 	}
+	finishStrategyObs(rt, ctx, s.Name(), RunResult{}, lastErr)
 	return RunResult{}, lastErr
+}
+
+// finishStrategyObs closes the strategy_run span (the one carried by ctx)
+// and bumps the per-strategy outcome counters. No-op without a runtime.
+func finishStrategyObs(rt *obs.Runtime, ctx context.Context, name string, res RunResult, err error) {
+	if rt == nil {
+		return
+	}
+	m, tr, span := rt.Metrics(), rt.Tracer(), obs.SpanFromContext(ctx)
+	switch {
+	case err != nil:
+		cat := Classify(err)
+		m.Counter("strategy.failed." + name).Inc()
+		m.Counter("failures." + string(cat)).Inc()
+		tr.EndSpan(span,
+			obs.Str("status", "failed"),
+			obs.Str("category", string(cat)),
+			obs.Str("error", err.Error()))
+	case res.Satisfied:
+		m.Counter("strategy.satisfied." + name).Inc()
+		m.Histogram("run.cost").Observe(res.TotalCost)
+		tr.EndSpan(span,
+			obs.Str("status", "satisfied"),
+			obs.Float("cost_at_solution", res.CostAtSolution),
+			obs.Float("total_cost", res.TotalCost),
+			obs.Int("evals", int64(res.Evaluations)))
+	default:
+		m.Counter("strategy.unsatisfied." + name).Inc()
+		m.Histogram("run.cost").Observe(res.TotalCost)
+		tr.EndSpan(span,
+			obs.Str("status", "unsatisfied"),
+			obs.Float("total_cost", res.TotalCost),
+			obs.Int("evals", int64(res.Evaluations)),
+			obs.Float("best_val_distance", res.BestValDistance))
+	}
 }

@@ -49,7 +49,7 @@ type memoEntry struct {
 // trained is never retrained. Only real compute is shared — every
 // evaluator still charges its own simulated budget meter the full Eq. 1
 // cost of a memoized subset, so CostAtSolution, coverage, and every paper
-// table are bit-identical to fully private caches (see DESIGN.md §9).
+// table are bit-identical to fully private caches (see DESIGN.md §4).
 //
 // The memo is concurrency-safe and deduplicates in-flight work: when two
 // strategies reach the same untrained subset concurrently, one becomes the

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// obsBaselinePath is the committed overhead baseline for the disabled-path
+// hot loop, relative to this package directory.
+const obsBaselinePath = "../../BENCH_OBS_BASELINE.json"
+
+// obsBaseline is the committed record the guard compares against. The ns/op
+// figure is machine-class specific: regenerate it on the CI runner class
+// with OBS_OVERHEAD_GUARD=write when the runner image changes.
+type obsBaseline struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// TestNoopOverheadGuard is the CI tripwire behind the tentpole's overhead
+// budget: with observability off, the cached-evaluation hot path must stay
+// allocation-free and within 5% of the committed ns/op baseline. It is
+// env-gated (OBS_OVERHEAD_GUARD=1) because raw ns/op is only comparable on
+// the machine class that recorded the baseline; OBS_OVERHEAD_GUARD=write
+// refreshes the baseline file instead of checking it.
+func TestNoopOverheadGuard(t *testing.T) {
+	mode := os.Getenv("OBS_OVERHEAD_GUARD")
+	if mode == "" {
+		t.Skip("set OBS_OVERHEAD_GUARD=1 to check, =write to refresh the baseline")
+	}
+
+	// Best-of-three to shave scheduler noise off the short loop.
+	var best testing.BenchmarkResult
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(BenchmarkEvaluateCachedDisabled)
+		if i == 0 || r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	measured := obsBaseline{
+		Name:        "BenchmarkEvaluateCachedDisabled",
+		NsPerOp:     float64(best.T.Nanoseconds()) / float64(best.N),
+		AllocsPerOp: best.AllocsPerOp(),
+	}
+	t.Logf("measured %.2f ns/op, %d allocs/op over %d iterations",
+		measured.NsPerOp, measured.AllocsPerOp, best.N)
+
+	if mode == "write" {
+		measured.Note = "disabled-path cached Evaluate; refresh with OBS_OVERHEAD_GUARD=write"
+		data, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(obsBaselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline written to %s", obsBaselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(obsBaselinePath)
+	if err != nil {
+		t.Fatalf("no committed baseline (run with OBS_OVERHEAD_GUARD=write first): %v", err)
+	}
+	var base obsBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt baseline: %v", err)
+	}
+	if measured.AllocsPerOp > base.AllocsPerOp {
+		t.Errorf("disabled path allocates %d/op, baseline %d/op — instrumentation leaked onto the hot path",
+			measured.AllocsPerOp, base.AllocsPerOp)
+	}
+	if limit := base.NsPerOp * 1.05; measured.NsPerOp > limit {
+		t.Errorf("disabled path at %.2f ns/op exceeds baseline %.2f ns/op by more than 5%%",
+			measured.NsPerOp, base.NsPerOp)
+	}
+	if t.Failed() {
+		t.Log(guardHint)
+	}
+}
+
+const guardHint = "if the regression is intentional (new machine class or accepted cost), " +
+	"refresh BENCH_OBS_BASELINE.json with: OBS_OVERHEAD_GUARD=write go test -run TestNoopOverheadGuard ./internal/core/"

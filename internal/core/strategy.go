@@ -7,6 +7,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/budget"
 	"github.com/declarative-fs/dfs/internal/constraint"
 	"github.com/declarative-fs/dfs/internal/model"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/ranking"
 	"github.com/declarative-fs/dfs/internal/search"
 	"github.com/declarative-fs/dfs/internal/xrand"
@@ -261,6 +262,13 @@ func RunStrategyWithMeter(s Strategy, scn *Scenario, meter budget.Meter, seed ui
 // runStrategyWithMeterMemo is RunStrategyWithMeter with an optional shared
 // trained-subset memo; the result is byte-identical with or without it.
 func runStrategyWithMeterMemo(s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int, memo *SharedMemo) (RunResult, error) {
+	return runStrategyWithMeterMemoObs(s, scn, meter, seed, maxEvals, memo, nil, 0)
+}
+
+// runStrategyWithMeterMemoObs additionally attaches an observability runtime
+// to the evaluator (nil rt keeps the bare path). Observation never changes
+// the run's behavior — only what is recorded about it.
+func runStrategyWithMeterMemoObs(s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int, memo *SharedMemo, rt *obs.Runtime, span obs.SpanID) (RunResult, error) {
 	ev, err := NewEvaluator(scn, meter, seed, maxEvals)
 	if err != nil {
 		return RunResult{}, err
@@ -268,6 +276,8 @@ func runStrategyWithMeterMemo(s Strategy, scn *Scenario, meter budget.Meter, see
 	if memo != nil {
 		ev.UseShared(memo)
 	}
+	ev.Observe(rt, span)
+	meter = ev.meter // Observe may wrap the meter; keep cost readouts consistent
 	if err := runProtected(s, ev, xrand.NewStream(seed, 0x57a7)); err != nil &&
 		!errors.Is(err, budget.ErrExhausted) {
 		var se *StrategyError

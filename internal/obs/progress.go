@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressState is a point-in-time view of the run: what the hand-rolled
+// results_progress.txt used to approximate, now queryable live (the debug
+// listener's /progress endpoint) and printable (Line).
+type ProgressState struct {
+	// Label names the pool or run being built (e.g. "HPO").
+	Label string `json:"label"`
+	// ScenariosTotal / ScenariosDone / ScenariosFailed track scenario-level
+	// completion of the current pool.
+	ScenariosTotal  int `json:"scenarios_total"`
+	ScenariosDone   int `json:"scenarios_done"`
+	ScenariosFailed int `json:"scenarios_failed"`
+	// StrategyRuns / StrategyFailures count finished strategy runs across
+	// the current pool (17 per scenario: 16 strategies + baseline).
+	StrategyRuns     int `json:"strategy_runs"`
+	StrategyFailures int `json:"strategy_failures"`
+	// PoolsDone counts completed pools this process (a benchmark -exp all
+	// run builds several).
+	PoolsDone int `json:"pools_done"`
+	// Elapsed is the time since the current pool began.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Progress is a concurrency-safe live progress reporter. All methods are
+// no-ops on a nil receiver.
+type Progress struct {
+	mu        sync.Mutex
+	s         ProgressState
+	poolStart time.Time
+}
+
+// NewProgress returns an idle reporter.
+func NewProgress() *Progress { return &Progress{} }
+
+// BeginPool resets the scenario counters for a new pool build.
+func (p *Progress) BeginPool(label string, scenarios int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done := p.s.PoolsDone
+	p.s = ProgressState{Label: label, ScenariosTotal: scenarios, PoolsDone: done}
+	p.poolStart = time.Now()
+}
+
+// ScenarioDone records one finished scenario.
+func (p *Progress) ScenarioDone(failed bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.s.ScenariosDone++
+	if failed {
+		p.s.ScenariosFailed++
+	}
+}
+
+// StrategyDone records one finished strategy run.
+func (p *Progress) StrategyDone(failed bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.s.StrategyRuns++
+	if failed {
+		p.s.StrategyFailures++
+	}
+}
+
+// EndPool marks the current pool complete.
+func (p *Progress) EndPool() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.s.PoolsDone++
+}
+
+// State returns a copy of the current state.
+func (p *Progress) State() ProgressState {
+	if p == nil {
+		return ProgressState{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.s
+	if !p.poolStart.IsZero() {
+		s.Elapsed = time.Since(p.poolStart)
+	}
+	return s
+}
+
+// Line renders the state as one human-readable progress line.
+func (p *Progress) Line() string {
+	s := p.State()
+	label := s.Label
+	if label == "" {
+		label = "idle"
+	}
+	return fmt.Sprintf("# %s: %d/%d scenarios (%d failed), %d strategy runs (%d failed), %s",
+		label, s.ScenariosDone, s.ScenariosTotal, s.ScenariosFailed,
+		s.StrategyRuns, s.StrategyFailures, s.Elapsed.Round(time.Millisecond))
+}
+
+// WriteJSON serves the state as JSON (the /progress endpoint).
+func (p *Progress) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.State())
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within a Tracer; 0 means "no span" and is safe
+// to pass anywhere a parent is expected.
+type SpanID uint64
+
+// Sink receives one encoded JSONL record per call, including the trailing
+// newline. The line buffer is reused by the tracer: implementations must not
+// retain it past the call. Emit errors are latched into Tracer.Err; emission
+// continues so a sick sink degrades the trace, not the run.
+type Sink interface {
+	Emit(line []byte) error
+}
+
+// WriterSink adapts an io.Writer (a file, a buffer) into a Sink. The tracer
+// serializes Emit calls, so the writer needs no locking of its own.
+type WriterSink struct{ W io.Writer }
+
+// Emit implements Sink.
+func (s WriterSink) Emit(line []byte) error {
+	_, err := s.W.Write(line)
+	return err
+}
+
+// Tracer records a tree of spans and point events as JSON lines:
+//
+//	{"t":"start","id":3,"parent":1,"name":"strategy_run","ts":152303,"strategy":"SFS(NR)"}
+//	{"t":"event","span":3,"name":"eval","ts":180551,"mask_n":5,"memo":"miss","cost":12.81}
+//	{"t":"end","id":3,"ts":993127,"status":"ok"}
+//
+// ts is nanoseconds since the tracer was created, taken from the monotonic
+// clock, so span durations are immune to wall-clock steps. All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Tracer struct {
+	sink  Sink
+	start time.Time
+	next  atomic.Uint64
+
+	mu  sync.Mutex
+	buf []byte
+	err error
+}
+
+// NewTracer builds a tracer emitting to the sink.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// NewWriterTracer is shorthand for NewTracer(WriterSink{w}).
+func NewWriterTracer(w io.Writer) *Tracer { return NewTracer(WriterSink{w}) }
+
+// Err returns the first sink failure, if any (the trace is best-effort:
+// emission continues after an error, but the latch tells tests and CLIs the
+// trace file is incomplete).
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// StartSpan opens a span under parent (0 for a root) and returns its ID.
+func (t *Tracer) StartSpan(parent SpanID, name string, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := SpanID(t.next.Add(1))
+	t.emit("start", id, parent, name, attrs)
+	return id
+}
+
+// EndSpan closes a span; extra attributes (status, cost, counts) join the
+// end record.
+func (t *Tracer) EndSpan(id SpanID, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.emit("end", id, 0, "", attrs)
+}
+
+// Event records a point-in-time occurrence inside a span (0 attaches it to
+// no span — a trace-level annotation).
+func (t *Tracer) Event(span SpanID, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("event", span, 0, name, attrs)
+}
+
+// emit encodes one record and hands it to the sink under the tracer lock.
+func (t *Tracer) emit(typ string, id, parent SpanID, name string, attrs []Attr) {
+	ts := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	b = append(b, `{"t":"`...)
+	b = append(b, typ...)
+	b = append(b, '"')
+	if typ == "event" {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, uint64(id), 10)
+	} else {
+		b = append(b, `,"id":`...)
+		b = strconv.AppendUint(b, uint64(id), 10)
+	}
+	if parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, uint64(parent), 10)
+	}
+	if name != "" {
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, name)
+	}
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	for _, a := range attrs {
+		b = append(b, ',')
+		b = appendJSONString(b, a.Key)
+		b = append(b, ':')
+		b = a.appendValue(b)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if err := t.sink.Emit(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// attrKind discriminates Attr payloads.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one key/value attribute of a span or event. Build them with Str,
+// Int, Float, and Bool. Keys must avoid the record's own fields — t, id,
+// span, parent, name, ts — or the emitted object carries duplicate keys and
+// most decoders silently keep only the attribute.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, kind: attrString, s: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, kind: attrInt, i: value} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, kind: attrFloat, f: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if value {
+		a.i = 1
+	}
+	return a
+}
+
+func (a Attr) appendValue(b []byte) []byte {
+	switch a.kind {
+	case attrInt:
+		return strconv.AppendInt(b, a.i, 10)
+	case attrFloat:
+		return appendJSONFloat(b, a.f)
+	case attrBool:
+		return strconv.AppendBool(b, a.i == 1)
+	default:
+		return appendJSONString(b, a.s)
+	}
+}
+
+// appendJSONFloat formats a float as a valid JSON number: NaN and ±Inf are
+// not representable in JSON, so they degrade to null.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if f != f || f > 1.7976931348623157e308 || f < -1.7976931348623157e308 {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted, escaped JSON string. Strategy
+// names, dataset names, and — in failure events — arbitrary error messages
+// (quotes, newlines, control characters from panic values) pass through
+// here, so escaping is complete rather than optimistic.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			// Multi-byte UTF-8 sequences are valid in JSON strings byte-for-byte.
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

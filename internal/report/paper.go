@@ -3,7 +3,7 @@
 // published numbers are embedded here; the measured numbers come from a
 // fresh benchmark run. The report checks the *qualitative* findings — who
 // wins, who loses, where the gaps are — because the original datasets are
-// replaced by synthetic stand-ins (DESIGN.md §5) and absolute values are not
+// replaced by synthetic stand-ins (DESIGN.md §6) and absolute values are not
 // expected to match.
 package report
 
