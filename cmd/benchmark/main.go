@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table3..table9, figure1, figure4, figure5, all)")
+	exp := flag.String("exp", "all", "experiment to run (pool, table3..table9, figure1, figure4, figure5, all)")
 	scenarios := flag.Int("scenarios", 60, "fuzzed scenarios per pool")
 	seed := flag.Uint64("seed", 7, "determinism seed")
 	maxEvals := flag.Int("maxevals", 120, "real-compute guard per strategy run")
@@ -50,6 +50,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /metrics, /progress on this address (e.g. 127.0.0.1:8090)")
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	progressEvery := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
+	checkpointPrefix := flag.String("checkpoint", "", "stream completed scenarios to append-only JSONL checkpoints named PREFIX-LABEL.ckpt")
+	resume := flag.Bool("resume", false, "resume -checkpoint files from an earlier run (config must match; completed scenarios are not re-run)")
+	shardFlag := flag.String("shard", "", "run only shard i/n of every pool (e.g. 0/2); combine with -checkpoint, then reassemble with -merge")
+	merge := flag.Bool("merge", false, "merge shard checkpoint files (positional arguments) into complete pools instead of running scenarios")
+	figuresJSON := flag.String("figures-json", "", "write figure data as machine-readable JSON (non-finite values become null) to this file")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -64,6 +69,15 @@ func main() {
 	} else {
 		cfg.Datasets = synth.Names()
 	}
+	shard, err := parseShard(*shardFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(2)
+	}
+	if *resume && *checkpointPrefix == "" {
+		fmt.Fprintln(os.Stderr, "benchmark: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM cancel in-flight pools at their next budget charge;
 	// buildPool then flushes whatever completed instead of losing the run.
@@ -77,12 +91,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
+	// exit funnels every path through cleanup so flush/close failures (full
+	// disk truncating the trace) surface as a nonzero exit instead of
+	// silently dropping data.
 	exit := func(code int) {
-		cleanup()
+		if err := cleanup(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
 		os.Exit(code)
 	}
 
-	r := &runner{ctx: ctx, cfg: cfg, outDir: *outDir, grid: *grid, figure1N: *figure1N, seed: *seed}
+	r := &runner{
+		ctx: ctx, cfg: cfg, outDir: *outDir, grid: *grid, figure1N: *figure1N,
+		seed: *seed, checkpoint: *checkpointPrefix, resume: *resume, shard: shard,
+	}
+	if *merge {
+		if err := r.mergePools(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			exit(1)
+		}
+	}
 	if err := r.run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		if errors.Is(err, errInterrupted) {
@@ -104,40 +135,75 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "# wrote raw pool to %s\n", *dumpPath)
 	}
-	cleanup()
+	if *figuresJSON != "" {
+		if err := r.writeFiguresJSON(*figuresJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote figure JSON to %s\n", *figuresJSON)
+	}
+	exit(0)
+}
+
+// parseShard parses the -shard value ("i/n"); empty means the whole pool.
+func parseShard(s string) (bench.ShardSpec, error) {
+	if s == "" {
+		return bench.ShardSpec{}, nil
+	}
+	var spec bench.ShardSpec
+	if _, err := fmt.Sscanf(s, "%d/%d", &spec.Index, &spec.Count); err != nil {
+		return bench.ShardSpec{}, fmt.Errorf("invalid -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	if spec.Count < 1 || spec.Index < 0 || spec.Index >= spec.Count {
+		return bench.ShardSpec{}, fmt.Errorf("invalid -shard %q: index must be in [0,count)", s)
+	}
+	return spec, nil
 }
 
 // setupObs wires the opt-in observability surface: a JSONL tracer (-trace),
 // the debug HTTP listener (-debug-addr), and a periodic progress line
 // (-progress). It returns the runtime-carrying context and a cleanup that
-// flushes the trace and stops the listener; when no flag is set the context
-// is returned untouched and cleanup is a no-op.
-func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery time.Duration) (context.Context, func(), error) {
+// flushes the trace and stops the listener, reporting the first failure —
+// a Flush/Close error on the trace file is lost data (full disk), not
+// noise. When no flag is set the context is returned untouched and cleanup
+// is a no-op.
+func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery time.Duration) (context.Context, func() error, error) {
+	noop := func() error { return nil }
 	if debugAddr == "" && tracePath == "" && progressEvery <= 0 {
-		return ctx, func() {}, nil
+		return ctx, noop, nil
 	}
-	var cleanups []func()
-	cleanup := func() {
+	var cleanups []func() error
+	cleanup := func() error {
+		var first error
 		for i := len(cleanups) - 1; i >= 0; i-- {
-			cleanups[i]()
+			if err := cleanups[i](); err != nil && first == nil {
+				first = err
+			}
 		}
+		return first
 	}
 	var opts []obs.Option
 	var tracer *obs.Tracer
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
-			return ctx, func() {}, err
+			return ctx, noop, err
 		}
 		bw := bufio.NewWriter(f)
 		tracer = obs.NewWriterTracer(bw)
 		opts = append(opts, obs.WithTracer(tracer))
-		cleanups = append(cleanups, func() {
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "benchmark: trace:", err)
+		cleanups = append(cleanups, func() error {
+			err := tracer.Err()
+			if ferr := bw.Flush(); err == nil {
+				err = ferr
 			}
-			bw.Flush()
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("trace %s: %w", tracePath, err)
+			}
+			return nil
 		})
 	}
 	rt := obs.New(opts...)
@@ -145,11 +211,13 @@ func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery ti
 	if debugAddr != "" {
 		srv, err := obs.StartDebug(debugAddr, rt)
 		if err != nil {
-			cleanup()
-			return ctx, func() {}, err
+			if cerr := cleanup(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "benchmark:", cerr)
+			}
+			return ctx, noop, err
 		}
 		fmt.Fprintf(os.Stderr, "# debug listener on http://%s (pprof, /metrics, /progress)\n", srv.Addr())
-		cleanups = append(cleanups, func() { srv.Close() })
+		cleanups = append(cleanups, srv.Close)
 	}
 	if progressEvery > 0 {
 		t := time.NewTicker(progressEvery)
@@ -164,7 +232,7 @@ func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery ti
 				}
 			}
 		}()
-		cleanups = append(cleanups, func() { t.Stop(); close(stopped) })
+		cleanups = append(cleanups, func() error { t.Stop(); close(stopped); return nil })
 	}
 	return ctx, cleanup, nil
 }
@@ -248,17 +316,53 @@ func (r *runner) writeReport(path string) error {
 	return os.WriteFile(path, []byte(doc), 0o644)
 }
 
+// writeFiguresJSON regenerates the figures (reusing cached pools) and emits
+// them as one NaN-free JSON document.
+func (r *runner) writeFiguresJSON(path string) error {
+	hpo, err := r.getHPOPool()
+	if err != nil {
+		return err
+	}
+	eval, err := r.getOptimizerEval()
+	if err != nil {
+		return err
+	}
+	fig1, err := bench.Figure1(r.figure1N, r.seed)
+	if err != nil {
+		return err
+	}
+	fig5, err := bench.Figure5(bench.Figure5Config{
+		GridN: r.grid, MaxEvals: r.cfg.MaxEvals, Seed: r.seed, HPO: true,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteFiguresJSON(f, fig1, bench.Figure4(hpo, eval), fig5); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // errInterrupted reports that a signal canceled a pool build; partial
 // results were already flushed, and main converts it to exit status 130.
 var errInterrupted = errors.New("interrupted by signal")
 
 type runner struct {
-	ctx      context.Context
-	cfg      bench.Config
-	outDir   string
-	grid     int
-	figure1N int
-	seed     uint64
+	ctx        context.Context
+	cfg        bench.Config
+	outDir     string
+	grid       int
+	figure1N   int
+	seed       uint64
+	checkpoint string // -checkpoint path prefix ("" disables)
+	resume     bool
+	shard      bench.ShardSpec
+	mergeOnly  bool // pools come from -merge; never rebuild silently
 
 	defaultPool *bench.Pool
 	hpoPool     *bench.Pool
@@ -266,8 +370,77 @@ type runner struct {
 	optEval     *bench.OptimizerEval
 }
 
+// checkpointPath names one pool's checkpoint file under the -checkpoint
+// prefix; the label keeps the three pools (default-parameter, HPO,
+// utility-mode) in separate files.
+func (r *runner) checkpointPath(label string) string {
+	return r.checkpoint + "-" + label + ".ckpt"
+}
+
+// mergePools reassembles complete pools from shard checkpoint files and
+// adopts each into the runner's cache; subsequent experiments read the
+// merged pools instead of rebuilding. Grouping is by checkpoint Config, so
+// one -merge invocation can carry shards of several pools.
+func (r *runner) mergePools(paths []string) error {
+	if len(paths) == 0 {
+		return errors.New("-merge needs checkpoint files as positional arguments")
+	}
+	// Group the files by pool identity (HPO/Mode), then merge each group.
+	groups := make(map[string][]string)
+	var order []string
+	for _, path := range paths {
+		cfg, _, err := bench.ReadCheckpoint(path)
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("hpo=%t mode=%d", cfg.HPO, cfg.Mode)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], path)
+	}
+	for _, key := range order {
+		p, err := bench.MergeShards(groups[key]...)
+		if err != nil {
+			return err
+		}
+		if p.Interrupted {
+			return fmt.Errorf("merge: checkpoints %s cover only %d/%d scenarios",
+				strings.Join(groups[key], ", "), len(p.Records), p.Config.Scenarios)
+		}
+		switch {
+		case p.Config.Mode == core.ModeMaximizeUtility:
+			r.utilityPool = p
+		case p.Config.HPO:
+			r.hpoPool = p
+		default:
+			r.defaultPool = p
+		}
+		fmt.Fprintf(os.Stderr, "# merged %d checkpoint file(s) into a %d-scenario pool (%s)\n",
+			len(groups[key]), len(p.Records), key)
+	}
+	r.mergeOnly = true
+	return nil
+}
+
+// mergedOnly guards pool getters in -merge mode: rebuilding a pool the
+// merge did not provide would silently mask missing shards (and make any
+// downstream diff pass trivially), so it is an error instead.
+func (r *runner) mergedOnly(label string) error {
+	if r.mergeOnly {
+		return fmt.Errorf("-merge did not provide the %s pool; pass its shard checkpoints or drop -merge", label)
+	}
+	return nil
+}
+
 func (r *runner) run(exp string) error {
 	switch exp {
+	case "pool":
+		// Build (or resume/merge) the HPO pool and nothing else: the unit of
+		// work for shard workers and checkpointed runs whose tables are
+		// produced later by a -merge invocation.
+		_, err := r.getHPOPool()
+		return err
 	case "all":
 		for _, e := range []string{"table3", "table4", "table5", "table6",
 			"table7", "table8", "table9", "figure1", "figure4", "figure5",
@@ -396,6 +569,9 @@ func (r *runner) run(exp string) error {
 
 func (r *runner) getDefaultPool() (*bench.Pool, error) {
 	if r.defaultPool == nil {
+		if err := r.mergedOnly("default-parameter"); err != nil {
+			return nil, err
+		}
 		cfg := r.cfg
 		cfg.HPO = false
 		cfg.Mode = core.ModeSatisfy
@@ -410,6 +586,9 @@ func (r *runner) getDefaultPool() (*bench.Pool, error) {
 
 func (r *runner) getHPOPool() (*bench.Pool, error) {
 	if r.hpoPool == nil {
+		if err := r.mergedOnly("HPO"); err != nil {
+			return nil, err
+		}
 		cfg := r.cfg
 		cfg.HPO = true
 		cfg.Mode = core.ModeSatisfy
@@ -425,6 +604,9 @@ func (r *runner) getHPOPool() (*bench.Pool, error) {
 
 func (r *runner) getUtilityPool() (*bench.Pool, error) {
 	if r.utilityPool == nil {
+		if err := r.mergedOnly("utility-mode"); err != nil {
+			return nil, err
+		}
 		cfg := r.cfg
 		cfg.HPO = true
 		cfg.Mode = core.ModeMaximizeUtility
@@ -460,6 +642,7 @@ func (r *runner) getOptimizerEval() (*bench.OptimizerEval, error) {
 
 func (r *runner) buildPool(label string, cfg bench.Config) (*bench.Pool, error) {
 	cfg.Label = label
+	cfg.Shard = r.shard
 	fmt.Fprintf(os.Stderr, "# building %s pool: %d scenarios on %d datasets...\n",
 		label, cfg.Scenarios, len(cfg.Datasets))
 	start := time.Now()
@@ -467,12 +650,45 @@ func (r *runner) buildPool(label string, cfg bench.Config) (*bench.Pool, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p, err := bench.BuildPoolContext(ctx, cfg)
+	var opts bench.RunOptions
+	var cp *bench.CheckpointWriter
+	ckptPath := ""
+	if r.checkpoint != "" {
+		ckptPath = r.checkpointPath(label)
+		var err error
+		if r.resume {
+			var resumed []bench.Record
+			cp, resumed, err = bench.ResumeCheckpoint(ckptPath, cfg)
+			if err != nil {
+				return nil, err
+			}
+			opts.Resume = resumed
+			if len(resumed) > 0 {
+				fmt.Fprintf(os.Stderr, "# %s: resuming %d completed scenario(s) from %s\n",
+					label, len(resumed), ckptPath)
+			}
+		} else {
+			cp, err = bench.CreateCheckpoint(ckptPath, cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		opts.Sink = cp
+	}
+	p, err := bench.BuildPoolResumed(ctx, cfg, opts)
+	if cp != nil {
+		// A checkpoint flush/close failure means the file may not reflect
+		// the completed scenarios — that must fail the run even though the
+		// in-memory pool is fine.
+		if cerr := cp.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("checkpoint %s: %w", ckptPath, cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	if p.Interrupted {
-		if err := r.flushInterrupted(label, cfg, p); err != nil {
+		if err := r.flushInterrupted(label, cfg, p, ckptPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
 		}
 		return nil, fmt.Errorf("%s pool: %w", label, errInterrupted)
@@ -485,11 +701,16 @@ func (r *runner) buildPool(label string, cfg bench.Config) (*bench.Pool, error) 
 // flushInterrupted saves whatever a canceled pool build completed — the
 // partial pool CSV plus an interruption note — to -out (stderr-only when
 // -out is unset), so hitting Ctrl-C does not lose the run.
-func (r *runner) flushInterrupted(label string, cfg bench.Config, p *bench.Pool) error {
+func (r *runner) flushInterrupted(label string, cfg bench.Config, p *bench.Pool, ckptPath string) error {
 	note := fmt.Sprintf("pool interrupted after %d/%d scenarios", len(p.Records), cfg.Scenarios)
 	fmt.Fprintf(os.Stderr, "# %s: %s\n", label, note)
+	if ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "# checkpoint retained at %s; rerun with -resume to continue\n", ckptPath)
+	}
 	if r.outDir == "" {
-		fmt.Fprintln(os.Stderr, "# no -out directory; partial results discarded")
+		if ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "# no -out directory; partial results discarded")
+		}
 		return nil
 	}
 	if err := os.MkdirAll(r.outDir, 0o755); err != nil {

@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
+	"strconv"
 	"strings"
 
 	"github.com/declarative-fs/dfs/internal/attack"
@@ -281,6 +285,91 @@ func figure5Cell(d *dataset.Dataset, cs constraint.Set, cfg Figure5Config, minF1
 		}
 	}
 	return Figure5Cell{MinF1: minF1, Threshold: thr, Winner: winner}, nil
+}
+
+// jsonFloat serializes like a float64 but renders NaN and ±Inf as null:
+// encoding/json rejects non-finite floats outright, and a degraded pool
+// (failed strategy runs) can push NaN into figure metrics. null marks "no
+// data" in a way every JSON consumer can handle.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// WriteFiguresJSON emits the figure data as one machine-readable JSON
+// document. Non-finite values serialize as null, never as "NaN" (which
+// encoding/json would refuse and ad-hoc writers would emit invalid JSON
+// for). Nil figure arguments are simply omitted.
+func WriteFiguresJSON(w io.Writer, f1 []Figure1Point, f4 *Figure4Result, f5 *Figure5Result) error {
+	type f1Point struct {
+		Model       string    `json:"model"`
+		NumFeatures int       `json:"num_features"`
+		F1          jsonFloat `json:"f1"`
+		EO          jsonFloat `json:"eo"`
+		SizeFrac    jsonFloat `json:"size_frac"`
+		Safety      jsonFloat `json:"safety"`
+	}
+	type f4Row struct {
+		Strategy string      `json:"strategy"`
+		Coverage []jsonFloat `json:"coverage"`
+	}
+	type f4Doc struct {
+		Datasets []string `json:"datasets"`
+		Rows     []f4Row  `json:"rows"`
+	}
+	type f5Cell struct {
+		MinF1     jsonFloat `json:"min_f1"`
+		Threshold jsonFloat `json:"threshold"`
+		Winner    string    `json:"winner"`
+	}
+	doc := struct {
+		Figure1 []f1Point           `json:"figure1,omitempty"`
+		Figure4 *f4Doc              `json:"figure4,omitempty"`
+		Figure5 map[string][]f5Cell `json:"figure5,omitempty"`
+	}{}
+	for _, p := range f1 {
+		doc.Figure1 = append(doc.Figure1, f1Point{
+			Model:       string(p.Model),
+			NumFeatures: p.NumFeatures,
+			F1:          jsonFloat(p.F1),
+			EO:          jsonFloat(p.EO),
+			SizeFrac:    jsonFloat(p.SizeFrac),
+			Safety:      jsonFloat(p.Safety),
+		})
+	}
+	if f4 != nil {
+		d := &f4Doc{Datasets: f4.Datasets}
+		for _, row := range f4.Rows {
+			r := f4Row{Strategy: row.Strategy}
+			for _, v := range row.Coverage {
+				r.Coverage = append(r.Coverage, jsonFloat(v))
+			}
+			d.Rows = append(d.Rows, r)
+		}
+		doc.Figure4 = d
+	}
+	if f5 != nil {
+		doc.Figure5 = make(map[string][]f5Cell, len(f5.Pairs))
+		for pt, cells := range f5.Pairs {
+			out := make([]f5Cell, 0, len(cells))
+			for _, c := range cells {
+				out = append(out, f5Cell{
+					MinF1:     jsonFloat(c.MinF1),
+					Threshold: jsonFloat(c.Threshold),
+					Winner:    c.Winner,
+				})
+			}
+			doc.Figure5[pt] = out
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
 }
 
 // Render formats each pair's grid.

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// allFailurePool fabricates a fully degraded pool: every strategy of every
+// scenario died, so no analysis bucket has any data. This is the worst case
+// the NaN guards exist for (and what an all-transient-failure run or a
+// resumed empty shard can legitimately produce).
+func allFailurePool() *Pool {
+	cfg := Config{Scenarios: 4, Datasets: []string{"COMPAS"}}.withDefaults()
+	p := &Pool{Config: cfg}
+	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
+	for i := 0; i < cfg.Scenarios; i++ {
+		rec := Record{ID: i, Dataset: "COMPAS", Model: model.KindLR}
+		for _, s := range names {
+			rec.failStrategy(s, errors.New("injected failure"))
+		}
+		p.Records = append(p.Records, rec)
+	}
+	return p
+}
+
+func TestMeanStdRendering(t *testing.T) {
+	if got := (MeanStd{}).String(); got != "–" {
+		t.Fatalf("empty cell renders %q, want –", got)
+	}
+	if got := (MeanStd{Mean: 0.6, Std: 0.22, N: 3}).String(); got != "0.60±0.22" {
+		t.Fatalf("populated cell renders %q", got)
+	}
+
+	// Non-finite inputs are dropped, not averaged.
+	ms := meanStd([]float64{math.NaN(), 1, math.Inf(1), 3})
+	if ms.N != 2 || ms.Mean != 2 {
+		t.Fatalf("meanStd filtered to N=%d mean=%v, want N=2 mean=2", ms.N, ms.Mean)
+	}
+	if ms := meanStd(nil); ms.N != 0 || ms.String() != "–" {
+		t.Fatalf("empty input: %+v renders %q", ms, ms.String())
+	}
+	if ms := meanStd([]float64{math.NaN()}); ms.N != 0 || ms.String() != "–" {
+		t.Fatalf("all-NaN input: %+v renders %q", ms, ms.String())
+	}
+
+	// JSON: empty cells are null, never NaN (which json.Marshal rejects).
+	if b, err := json.Marshal(MeanStd{}); err != nil || string(b) != "null" {
+		t.Fatalf("empty cell marshals %q, %v", b, err)
+	}
+	b, err := json.Marshal(MeanStd{Mean: 0.5, Std: 0.1, N: 2})
+	if err != nil || !strings.Contains(string(b), `"n":2`) {
+		t.Fatalf("populated cell marshals %q, %v", b, err)
+	}
+}
+
+// TestTable8AllFailurePool is the regression for the greedy-portfolio panic:
+// with every candidate value undefined, the greedy loop used to index
+// remaining[-1]; now it stops with zero steps.
+func TestTable8AllFailurePool(t *testing.T) {
+	p := allFailurePool()
+	res := Table8(p) // must not panic
+	if len(res.CoverageSteps) != 0 || len(res.FastestSteps) != 0 {
+		t.Fatalf("degraded pool produced portfolio steps: %d coverage, %d fastest",
+			len(res.CoverageSteps), len(res.FastestSteps))
+	}
+	if out := res.Render(); strings.Contains(out, "NaN") {
+		t.Fatalf("Table 8 render contains NaN:\n%s", out)
+	}
+}
+
+// TestTablesNaNFree renders every table that can be built from a fully
+// degraded pool and asserts no NaN leaks into the output; empty cells show
+// as –.
+func TestTablesNaNFree(t *testing.T) {
+	p := allFailurePool()
+	outputs := map[string]string{
+		"table4": Table4(p, p).Render(),
+		"table5": Table5(p).Render(),
+		"table6": Table6(p).Render(),
+		"table8": Table8(p).Render(),
+	}
+	for name, out := range outputs {
+		if strings.Contains(out, "NaN") {
+			t.Errorf("%s render contains NaN:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(outputs["table4"], "–") {
+		t.Error("table4 does not mark empty cells with –")
+	}
+
+	// NaN values carried by records (pessimal distances of failed runs) are
+	// filtered out of the aggregates rather than poisoning whole columns.
+	nan := math.NaN()
+	p.Records[0].Results = map[string]core.RunResult{
+		"SFS(NR)": {Satisfied: false, BestValDistance: nan, BestTestDistance: nan},
+	}
+	if out := Table4(p, p).Render(); strings.Contains(out, "NaN") {
+		t.Fatalf("table4 leaked a record-carried NaN:\n%s", out)
+	}
+}
+
+// TestWriteFiguresJSONNaNFree pins the figure JSON contract: always valid
+// JSON, non-finite values as null.
+func TestWriteFiguresJSONNaNFree(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	f1 := []Figure1Point{
+		{Model: model.KindLR, NumFeatures: 3, F1: 0.7, EO: nan, SizeFrac: 0.2, Safety: inf},
+	}
+	f4 := &Figure4Result{
+		Datasets: []string{"COMPAS"},
+		Rows:     []Figure4Row{{Strategy: "SFS(NR)", Coverage: []float64{nan}}},
+	}
+	f5 := &Figure5Result{Pairs: map[string][]Figure5Cell{
+		"EO": {{MinF1: 0.5, Threshold: nan, Winner: ""}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFiguresJSON(&buf, f1, f4, f5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !json.Valid(out) {
+		t.Fatalf("figure output is not valid JSON:\n%s", out)
+	}
+	if bytes.Contains(out, []byte("NaN")) || bytes.Contains(out, []byte("Inf")) {
+		t.Fatalf("figure output contains a non-finite literal:\n%s", out)
+	}
+	var doc struct {
+		Figure1 []map[string]any `json:"figure1"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc.Figure1[0]["eo"]; !ok || v != nil {
+		t.Fatalf("NaN field serialized as %v, want null", v)
+	}
+	if v := doc.Figure1[0]["f1"]; v != 0.7 {
+		t.Fatalf("finite field serialized as %v", v)
+	}
+}

@@ -47,9 +47,83 @@ type Config struct {
 	// identical either way — sharing only skips redundant physical training —
 	// so this is a debugging/verification escape hatch, not a semantic knob.
 	NoEvalSharing bool
+	// Shard restricts the build to a deterministic slice of the scenario IDs
+	// so a pool can be spread across processes or machines; the zero value
+	// runs the whole pool. Shard workers write per-shard checkpoints that
+	// MergeShards reassembles bit-identically to a single-process run.
+	Shard ShardSpec
 	// Label names the pool in traces and progress reports (e.g. "HPO");
 	// empty means "pool". It never affects the run itself.
 	Label string
+}
+
+// ShardSpec deterministically partitions the scenario IDs of a pool across
+// Count processes: scenario i belongs to shard Index when i % Count ==
+// Index. Round-robin (rather than contiguous ranges) keeps every shard's
+// mix of datasets and constraint draws statistically identical, so shard
+// runtimes stay balanced. The zero value means "the whole pool".
+type ShardSpec struct {
+	Index, Count int
+}
+
+// normalized maps the zero value to the explicit whole-pool shard 0/1.
+func (s ShardSpec) normalized() ShardSpec {
+	if s.Count == 0 {
+		return ShardSpec{Index: 0, Count: 1}
+	}
+	return s
+}
+
+// contains reports whether scenario i belongs to this shard.
+func (s ShardSpec) contains(i int) bool {
+	s = s.normalized()
+	return i%s.Count == s.Index
+}
+
+// size counts this shard's scenarios in a pool of n.
+func (s ShardSpec) size(n int) int {
+	s = s.normalized()
+	count := n / s.Count
+	if s.Index < n%s.Count {
+		count++
+	}
+	return count
+}
+
+// validate rejects malformed shard specs.
+func (s ShardSpec) validate() error {
+	n := s.normalized()
+	if n.Count < 1 || n.Index < 0 || n.Index >= n.Count {
+		return fmt.Errorf("bench: invalid shard %d/%d", s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders the "index/count" form used by the -shard flag.
+func (s ShardSpec) String() string {
+	s = s.normalized()
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// RecordSink receives each completed scenario record as soon as it is
+// assembled; *CheckpointWriter implements it. Append may be called
+// concurrently from scenario goroutines and must do its own locking.
+type RecordSink interface {
+	Append(rec *Record) error
+}
+
+// RunOptions are the crash-safety hooks of BuildPoolResumed. The zero value
+// is a plain build.
+type RunOptions struct {
+	// Resume seeds records completed by an earlier run (loaded from a
+	// checkpoint); their scenario IDs are skipped before any goroutine is
+	// spawned and the records flow into the pool unchanged.
+	Resume []Record
+	// Sink streams each newly completed record (checkpoint appender). Sink
+	// failures never kill the build: they are latched in the sink (see
+	// CheckpointWriter.Err) and counted/traced, and the pool completes in
+	// memory regardless.
+	Sink RecordSink
 }
 
 func (c Config) withDefaults() Config {
@@ -255,11 +329,44 @@ func BuildPool(cfg Config) (*Pool, error) {
 // completed prefix with Pool.Interrupted set. An error is returned only
 // when nothing survives — every completed scenario failed.
 func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
+	return BuildPoolResumed(ctx, cfg, RunOptions{})
+}
+
+// BuildPoolResumed is BuildPoolContext with crash-safety hooks: records in
+// opts.Resume are adopted without re-execution (their IDs never spawn a
+// scenario goroutine), each newly completed record is streamed to
+// opts.Sink, and cfg.Shard restricts which scenario IDs run at all.
+// Because scenario execution is order-independent, the assembled pool is
+// bit-identical to an uninterrupted single-process BuildPool regardless of
+// how the records were split between Resume and live execution.
+func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Shard.validate(); err != nil {
+		return nil, err
+	}
 	po, ctx := newPoolObs(ctx, cfg)
 	cache := &datasetCache{data: make(map[string]*dataset.Dataset), seed: cfg.Seed}
 	records := make([]Record, cfg.Scenarios)
 	done := make([]bool, cfg.Scenarios)
+
+	// Adopt resumed records before spawning anything, so the scheduler skips
+	// their IDs and the obs invariant (resumed + executed == shard size)
+	// holds by construction.
+	for idx := range opts.Resume {
+		rec := opts.Resume[idx]
+		if rec.ID < 0 || rec.ID >= cfg.Scenarios {
+			return nil, fmt.Errorf("bench: resumed scenario ID %d outside [0,%d)", rec.ID, cfg.Scenarios)
+		}
+		if !cfg.Shard.contains(rec.ID) {
+			return nil, fmt.Errorf("bench: resumed scenario %d does not belong to shard %s", rec.ID, cfg.Shard)
+		}
+		if done[rec.ID] {
+			return nil, fmt.Errorf("bench: resumed scenario %d appears twice", rec.ID)
+		}
+		records[rec.ID] = rec
+		done[rec.ID] = true
+		po.resumeSkip(&records[rec.ID])
+	}
 
 	// Two-level scheduling under one worker budget: scenarios is the
 	// admission bound (at most Workers scenarios in flight, so small pools
@@ -272,6 +379,9 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 	scenarios := make(chan struct{}, cfg.Workers)
 	slots := make(chan struct{}, cfg.Workers)
 	for i := 0; i < cfg.Scenarios && ctx.Err() == nil; i++ {
+		if !cfg.Shard.contains(i) || done[i] {
+			continue
+		}
 		wg.Add(1)
 		scenarios <- struct{}{}
 		if po != nil {
@@ -293,6 +403,10 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 			}
 			records[i] = rec
 			done[i] = true
+			po.scenarioExecuted()
+			if opts.Sink != nil {
+				po.checkpointWrite(&records[i], opts.Sink.Append(&records[i]))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -435,6 +549,10 @@ type poolObs struct {
 	slotsInFlight     *obs.Gauge // execution-level occupancy (strategy runs)
 	scenarioFailures  *obs.Counter
 	degraded          *obs.Counter // strategy casualties absorbed by degradation
+	resumed           *obs.Counter // scenarios adopted from a checkpoint
+	executed          *obs.Counter // scenarios run live (resumed+executed == shard size)
+	ckptWrites        *obs.Counter
+	ckptWriteErrs     *obs.Counter
 }
 
 func newPoolObs(ctx context.Context, cfg Config) (*poolObs, context.Context) {
@@ -446,12 +564,17 @@ func newPoolObs(ctx context.Context, cfg Config) (*poolObs, context.Context) {
 	if label == "" {
 		label = "pool"
 	}
-	span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "pool",
+	attrs := []obs.Attr{
 		obs.Str("label", label),
 		obs.Int("scenarios", int64(cfg.Scenarios)),
 		obs.Int("workers", int64(cfg.Workers)),
-		obs.Bool("eval_sharing", !cfg.NoEvalSharing))
-	rt.Progress().BeginPool(label, cfg.Scenarios)
+		obs.Bool("eval_sharing", !cfg.NoEvalSharing),
+	}
+	if cfg.Shard.normalized().Count > 1 {
+		attrs = append(attrs, obs.Str("shard", cfg.Shard.String()))
+	}
+	span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "pool", attrs...)
+	rt.Progress().BeginPool(label, cfg.Shard.size(cfg.Scenarios))
 	m := rt.Metrics()
 	p := &poolObs{
 		rt:                rt,
@@ -460,8 +583,52 @@ func newPoolObs(ctx context.Context, cfg Config) (*poolObs, context.Context) {
 		slotsInFlight:     m.Gauge("pool.inflight.strategies"),
 		scenarioFailures:  m.Counter("pool.scenario_failures"),
 		degraded:          m.Counter("pool.degraded_strategies"),
+		resumed:           m.Counter("pool.checkpoint.resumed"),
+		executed:          m.Counter("pool.scenarios_executed"),
+		ckptWrites:        m.Counter("pool.checkpoint.writes"),
+		ckptWriteErrs:     m.Counter("pool.checkpoint.write_errors"),
 	}
 	return p, obs.ContextWithSpan(ctx, span)
+}
+
+// resumeSkip records a scenario adopted from a checkpoint: it counts toward
+// progress (it is done work of this pool) and toward the resumed counter,
+// and emits a resume_skip event so the trace shows which IDs never ran.
+func (p *poolObs) resumeSkip(rec *Record) {
+	if p == nil {
+		return
+	}
+	p.resumed.Inc()
+	p.rt.Progress().ScenarioDone(rec.Failed())
+	p.rt.Tracer().Event(p.span, "resume_skip",
+		obs.Int("scenario_id", int64(rec.ID)),
+		obs.Bool("failed", rec.Failed()))
+}
+
+// scenarioExecuted counts a scenario completed live in this process, the
+// complement of resumeSkip: resumed + executed == shard size on a full run.
+func (p *poolObs) scenarioExecuted() {
+	if p == nil {
+		return
+	}
+	p.executed.Inc()
+}
+
+// checkpointWrite records one streamed checkpoint append (err from
+// RecordSink.Append). Failed appends are counted separately and flagged on
+// the event; the build itself carries on (the sink latches its error).
+func (p *poolObs) checkpointWrite(rec *Record, err error) {
+	if p == nil {
+		return
+	}
+	attrs := []obs.Attr{obs.Int("scenario_id", int64(rec.ID))}
+	if err != nil {
+		p.ckptWriteErrs.Inc()
+		attrs = append(attrs, obs.Str("error", err.Error()))
+	} else {
+		p.ckptWrites.Inc()
+	}
+	p.rt.Tracer().Event(p.span, "checkpoint_write", attrs...)
 }
 
 // endPool closes the pool span and progress entry.

@@ -2,25 +2,52 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/declarative-fs/dfs/internal/metrics"
 )
 
 // MeanStd is a mean ± standard deviation pair, the cell format of the
-// paper's tables (the spread is taken across datasets).
+// paper's tables (the spread is taken across datasets). N is the number of
+// finite samples behind the pair: N == 0 marks an empty cell (e.g. a
+// --datasets filter or a partial shard left a bucket with no data), which
+// renders as "–" instead of a misleading 0.00±0.00 or NaN±NaN.
 type MeanStd struct {
 	Mean, Std float64
+	N         int
 }
 
-// String renders "0.60±0.22" like the paper's tables.
+// String renders "0.60±0.22" like the paper's tables, or "–" for a cell
+// with no underlying samples.
 func (m MeanStd) String() string {
+	if m.N == 0 {
+		return "–"
+	}
 	return fmt.Sprintf("%.2f±%.2f", m.Mean, m.Std)
 }
 
+// MarshalJSON keeps NaN out of figure/report JSON: empty cells serialize as
+// null, populated ones as {"mean":...,"std":...,"n":...}.
+func (m MeanStd) MarshalJSON() ([]byte, error) {
+	if m.N == 0 {
+		return []byte("null"), nil
+	}
+	return []byte(fmt.Sprintf(`{"mean":%g,"std":%g,"n":%d}`, m.Mean, m.Std, m.N)), nil
+}
+
+// meanStd aggregates the finite values of vals; NaN/Inf inputs (failed
+// strategy runs on a degraded pool) are dropped rather than poisoning the
+// whole cell.
 func meanStd(vals []float64) MeanStd {
-	m, s := metrics.MeanStd(vals)
-	return MeanStd{Mean: m, Std: s}
+	kept := vals[:0:0]
+	for _, v := range vals {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			kept = append(kept, v)
+		}
+	}
+	m, s := metrics.MeanStd(kept)
+	return MeanStd{Mean: m, Std: s, N: len(kept)}
 }
 
 // datasetsOf lists the dataset names present in the pool, in profile order.

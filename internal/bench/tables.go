@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -51,10 +52,10 @@ func Table3(defaultPool, hpoPool *Pool, seed uint64) (*Table3Result, error) {
 	})
 	res.Rows = append(res.Rows, Table3Row{
 		Strategy:        "Oracle",
-		DefaultFastest:  MeanStd{Mean: 1},
-		DefaultCoverage: MeanStd{Mean: 1},
-		HPOFastest:      MeanStd{Mean: 1},
-		HPOCoverage:     MeanStd{Mean: 1},
+		DefaultFastest:  MeanStd{Mean: 1, N: 1},
+		DefaultCoverage: MeanStd{Mean: 1, N: 1},
+		HPOFastest:      MeanStd{Mean: 1, N: 1},
+		HPOCoverage:     MeanStd{Mean: 1, N: 1},
 	})
 	return res, nil
 }
@@ -294,8 +295,9 @@ func Table8(p *Pool) *Table8Result {
 }
 
 // greedyPortfolio adds, at each step, the strategy that maximizes the
-// objective, stopping once every strategy is added or the value saturates
-// at 1.
+// objective, stopping once every strategy is added, the value saturates at
+// 1, or no candidate yields a defined value (fully degraded pool: every
+// objective evaluation is empty/NaN, so there is nothing left to rank).
 func greedyPortfolio(value func(set map[string]bool) MeanStd) []Table8Row {
 	var rows []Table8Row
 	set := make(map[string]bool)
@@ -306,9 +308,15 @@ func greedyPortfolio(value func(set map[string]bool) MeanStd) []Table8Row {
 			set[s] = true
 			v := value(set)
 			delete(set, s)
+			if v.N == 0 || math.IsNaN(v.Mean) {
+				continue
+			}
 			if v.Mean > bestVal.Mean {
 				bestIdx, bestVal = i, v
 			}
+		}
+		if bestIdx == -1 {
+			break
 		}
 		chosen := remaining[bestIdx]
 		set[chosen] = true
