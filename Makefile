@@ -18,12 +18,14 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-# bench runs the top-level Benchmark* functions and appends the parsed
-# results (name, ns/op, allocs/op) to the BENCH_PR2.json trajectory so
-# successive PRs can compare. Override BENCHTIME for steadier numbers, e.g.
-# `make bench BENCHTIME=3x BENCH_NOTE="after memoization"`.
+# bench runs the top-level Benchmark* functions plus the numeric-kernel
+# micro-benchmarks and appends the parsed results (name, ns/op, allocs/op)
+# to the BENCH_PR5.json trajectory so successive PRs can compare (earlier
+# history lives in BENCH_PR2.json). Override BENCHTIME for steadier numbers,
+# e.g. `make bench BENCHTIME=3x BENCH_NOTE="after kernel rewrite"`.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR2.json -note "$(BENCH_NOTE)"
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ \
+		. ./internal/linalg ./internal/ranking ./internal/model \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json -note "$(BENCH_NOTE)"
 
 ci: vet build race

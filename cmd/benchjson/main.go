@@ -2,10 +2,10 @@
 // artifact. It reads the benchmark run from stdin (echoing it through to
 // stdout so it still shows in the terminal and CI logs), parses the
 // Benchmark* result lines, and appends one run object to the -out file —
-// BENCH_PR2.json in the repo root — so successive PRs can diff name, ns/op,
-// and allocs/op across snapshots:
+// BENCH_PR5.json in the repo root — so successive PRs can diff name, ns/op,
+// and allocs/op across snapshots (earlier history: BENCH_PR2.json):
 //
-//	go test -bench=. -benchmem -benchtime=1x -run='^$' . | go run ./cmd/benchjson -note "after memoization"
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' . | go run ./cmd/benchjson -note "after kernel rewrite"
 package main
 
 import (
@@ -36,7 +36,7 @@ type Run struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "trajectory file to append the run to")
+	out := flag.String("out", "BENCH_PR5.json", "trajectory file to append the run to")
 	note := flag.String("note", "", "free-form label for this run")
 	flag.Parse()
 

@@ -23,6 +23,8 @@
 //	utility          keep optimizing F1 after satisfaction (Eq. 2)
 //	seed             determinism seed                 (default 1)
 //	max_evaluations  cap on trained subsets           (default 0: unlimited)
+//	kernel_workers   goroutines inside numeric kernels (default 0: GOMAXPROCS;
+//	                 scheduling only — results are identical at any setting)
 package main
 
 import (
@@ -54,6 +56,7 @@ type spec struct {
 	Seed           uint64  `json:"seed"`
 	MaxEvaluations int     `json:"max_evaluations"`
 	DataSeed       uint64  `json:"data_seed"`
+	KernelWorkers  int     `json:"kernel_workers"`
 }
 
 type output struct {
@@ -187,6 +190,9 @@ func run(specPath, debugAddr, tracePath string) error {
 	}
 	if s.MaxEvaluations > 0 {
 		opts = append(opts, dfs.WithMaxEvaluations(s.MaxEvaluations))
+	}
+	if s.KernelWorkers > 0 {
+		opts = append(opts, dfs.WithKernelWorkers(s.KernelWorkers))
 	}
 
 	kind, err := parseModel(s.Model)

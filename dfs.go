@@ -201,14 +201,15 @@ type StrategyReport struct {
 type StrategyError = core.StrategyError
 
 type options struct {
-	strategy  string
-	hpo       bool
-	utility   bool
-	seed      uint64
-	maxEvals  int
-	wallClock time.Duration
-	custom    []core.CustomConstraint
-	noShare   bool
+	strategy      string
+	hpo           bool
+	utility       bool
+	seed          uint64
+	maxEvals      int
+	wallClock     time.Duration
+	custom        []core.CustomConstraint
+	noShare       bool
+	kernelWorkers int
 }
 
 // Option customizes Select and RunPortfolio.
@@ -247,6 +248,15 @@ func WithWallClock(d time.Duration) Option { return func(o *options) { o.wallClo
 // simulated cost — so this is an escape hatch for debugging and verification,
 // not a semantic knob.
 func WithoutEvaluationSharing() Option { return func(o *options) { o.noShare = true } }
+
+// WithKernelWorkers caps the data-parallel goroutines inside the numeric
+// kernels of the search (the LR gradient pass, ReliefF and MCFS rankings).
+// The default (0) uses all of GOMAXPROCS. Worker count only changes
+// scheduling, never results: the kernels reduce over fixed chunks merged in
+// a fixed order, so the selection is bit-identical at every setting. Set
+// this when embedding DFS in a process that runs several searches at once
+// and the combined goroutine count should stay bounded.
+func WithKernelWorkers(n int) Option { return func(o *options) { o.kernelWorkers = n } }
 
 // CustomMetric scores one evaluated feature subset from the model's
 // predictions; it must return a value in [0, 1] and be deterministic. The
@@ -496,6 +506,7 @@ func newScenario(d *Dataset, kind ModelKind, cs Constraints, o options) (*core.S
 		return nil, err
 	}
 	scn.Custom = o.custom
+	scn.KernelWorkers = o.kernelWorkers
 	if err := scn.Validate(); err != nil {
 		return nil, err
 	}

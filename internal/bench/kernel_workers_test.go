@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/core"
+)
+
+// TestPoolKernelWorkerDeterminism is the tentpole guarantee of the
+// data-parallel kernel rewrite: pool records are bit-identical across kernel
+// worker counts 1, 2, and GOMAXPROCS, because every kernel reduces over
+// fixed chunks merged in a fixed order (see internal/parallel). Run under
+// -race this also exercises the kernels' fork/join paths for data races.
+func TestPoolKernelWorkerDeterminism(t *testing.T) {
+	base := Config{
+		Scenarios: 6,
+		Seed:      3,
+		Mode:      core.ModeSatisfy,
+		MaxEvals:  15,
+		Datasets:  []string{"COMPAS", "Indian Liver Patient", "Brazil Tourism"},
+		Sampler:   constraint.SamplerConfig{MinSearchCost: 10, MaxSearchCost: 1500},
+		Workers:   2,
+	}
+
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var ref *Pool
+	for _, kw := range counts {
+		cfg := base
+		cfg.KernelWorkers = kw
+		p, err := BuildPool(cfg)
+		if err != nil {
+			t.Fatalf("kernel workers %d: %v", kw, err)
+		}
+		if ref == nil {
+			ref = p
+			continue
+		}
+		if len(p.Records) != len(ref.Records) {
+			t.Fatalf("kernel workers %d: %d records, want %d", kw, len(p.Records), len(ref.Records))
+		}
+		for i := range p.Records {
+			if !reflect.DeepEqual(&p.Records[i], &ref.Records[i]) {
+				t.Errorf("scenario %d diverged at kernel workers %d vs %d:\n got %+v\nwant %+v",
+					i, kw, counts[0], &p.Records[i], &ref.Records[i])
+			}
+		}
+	}
+}
+
+// TestConfigKernelWorkersComposition pins the auto-compose default: strategy
+// slots × kernel goroutines must stay bounded by the machine.
+func TestConfigKernelWorkersComposition(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	got := Config{}.withDefaults()
+	if got.KernelWorkers < 1 || got.Workers*got.KernelWorkers > gmp && got.KernelWorkers != 1 {
+		t.Fatalf("default composition unbounded: Workers=%d KernelWorkers=%d GOMAXPROCS=%d",
+			got.Workers, got.KernelWorkers, gmp)
+	}
+	got = Config{Workers: 1}.withDefaults()
+	if got.KernelWorkers != gmp {
+		t.Fatalf("Workers=1 should leave all of GOMAXPROCS to kernels, got %d", got.KernelWorkers)
+	}
+	got = Config{Workers: 2 * gmp}.withDefaults()
+	if got.KernelWorkers != 1 {
+		t.Fatalf("oversubscribed scheduler should pin kernels to 1 worker, got %d", got.KernelWorkers)
+	}
+	got = Config{Workers: 2, KernelWorkers: 7}.withDefaults()
+	if got.KernelWorkers != 7 {
+		t.Fatalf("explicit KernelWorkers overridden: got %d, want 7", got.KernelWorkers)
+	}
+}

@@ -42,6 +42,14 @@ type Config struct {
 	// scheduling levels: at most Workers scenarios are in flight, and at most
 	// Workers strategy runs execute concurrently across all of them.
 	Workers int
+	// KernelWorkers caps the data-parallel goroutines inside the numeric
+	// kernels (LR gradient pass, ReliefF, MCFS) of each strategy run. 0
+	// composes with the scheduler: max(1, GOMAXPROCS/Workers), so strategy
+	// slots times kernel goroutines stays bounded by the machine. Like
+	// Workers it only changes scheduling, never records — the kernels use
+	// fixed-chunk ordered reductions, so pool output is bit-identical for
+	// every setting (see TestPoolKernelWorkerDeterminism).
+	KernelWorkers int
 	// NoEvalSharing disables the per-scenario trained-subset memo, forcing
 	// fully private evaluation caches (the pre-sharing behavior). Records are
 	// identical either way — sharing only skips redundant physical training —
@@ -141,6 +149,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.KernelWorkers == 0 {
+		c.KernelWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.KernelWorkers < 1 {
+			c.KernelWorkers = 1
+		}
 	}
 	return c
 }
@@ -457,6 +471,7 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 		rec.Err = fmt.Sprintf("scenario on %s: %v", name, err)
 		return rec, nil
 	}
+	scn.KernelWorkers = cfg.KernelWorkers
 
 	// Every strategy of the scenario runs under the same seed against a
 	// shared trained-subset memo: identical subsets train once, physically,

@@ -157,7 +157,14 @@ func (s topK) Run(ev *Evaluator, rng *xrand.RNG) error {
 		}
 		return err
 	}
-	scores, err := s.ranker.Rank(ev.Scenario().Split.Train, rng.Split())
+	ranker := s.ranker
+	if wt, ok := ranker.(ranking.WorkerTunable); ok {
+		// Thread the scenario's kernel worker bound into data-parallel
+		// rankers; WithWorkers copies, so the shared strategy value is
+		// untouched and scores stay bit-identical at any setting.
+		ranker = wt.WithWorkers(ev.Scenario().kernelWorkers())
+	}
+	scores, err := ranker.Rank(ev.Scenario().Split.Train, rng.Split())
 	if err != nil {
 		return err
 	}
@@ -192,7 +199,7 @@ func (rfeStrategy) Run(ev *Evaluator, rng *xrand.RNG) error {
 	ev.SetPruning(false)
 	defer ev.SetPruning(true)
 	scn := ev.Scenario()
-	imp := &ranking.ModelImportance{Spec: model.Spec{Kind: scn.ModelKind}}
+	imp := &ranking.ModelImportance{Spec: model.Spec{Kind: scn.ModelKind, Workers: scn.kernelWorkers()}}
 	full := ev.NumFeatures()
 	rank := func(mask []bool) ([]float64, error) {
 		sel := selected(mask)

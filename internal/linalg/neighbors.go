@@ -1,8 +1,7 @@
 package linalg
 
 import (
-	"sort"
-
+	"github.com/declarative-fs/dfs/internal/parallel"
 	"github.com/declarative-fs/dfs/internal/xrand"
 )
 
@@ -23,41 +22,248 @@ func distance(m Metric, a, b []float64) float64 {
 	return SqDist(a, b)
 }
 
+// NNScratch holds the bounded-heap storage for nearest-neighbour queries so
+// repeated calls (ReliefF visits every sampled seed, MCFS every sampled row)
+// reuse one allocation. The zero value is ready to use. A scratch must not be
+// shared between goroutines.
+type NNScratch struct {
+	dist []float64
+	idx  []int
+}
+
+// nnWorse reports whether heap entry a is a worse neighbour than entry b:
+// larger distance, or equal distance with the larger row index. The heap is
+// ordered worst-at-root so the k best candidates survive.
+func nnWorse(hd []float64, hidx []int, a, b int) bool {
+	if hd[a] != hd[b] {
+		return hd[a] > hd[b]
+	}
+	return hidx[a] > hidx[b]
+}
+
+func nnSiftDown(hd []float64, hidx []int, root, size int) {
+	for {
+		c := 2*root + 1
+		if c >= size {
+			return
+		}
+		if r := c + 1; r < size && nnWorse(hd, hidx, r, c) {
+			c = r
+		}
+		if !nnWorse(hd, hidx, c, root) {
+			return
+		}
+		hd[root], hd[c] = hd[c], hd[root]
+		hidx[root], hidx[c] = hidx[c], hidx[root]
+		root = c
+	}
+}
+
+func nnSiftUp(hd []float64, hidx []int, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nnWorse(hd, hidx, i, p) {
+			return
+		}
+		hd[i], hd[p] = hd[p], hd[i]
+		hidx[i], hidx[p] = hidx[p], hidx[i]
+		i = p
+	}
+}
+
+// KNNSelf returns the indices of the k nearest rows of x to the query,
+// excluding the single row self (pass self < 0 to exclude nothing), ordered
+// by increasing distance with ties broken on the lower index — exactly the
+// ordering of KNN. It runs in O(n + k log k) with a bounded max-heap instead
+// of sorting every candidate: rows no better than the current k-th best are
+// rejected in O(1). scratch is reused across calls; out is reused when its
+// capacity allows, so steady-state queries allocate nothing.
+func KNNSelf(x *Matrix, query []float64, k int, m Metric, self int, scratch *NNScratch, out []int) []int {
+	n := x.Rows
+	avail := n
+	if self >= 0 && self < n {
+		avail--
+	}
+	if k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		if out == nil {
+			return []int{}
+		}
+		return out[:0]
+	}
+	if cap(scratch.dist) < k {
+		scratch.dist = make([]float64, k)
+		scratch.idx = make([]int, k)
+	}
+	hd := scratch.dist[:k]
+	hidx := scratch.idx[:k]
+	sz := 0
+	for i := 0; i < n; i++ {
+		if i == self {
+			continue
+		}
+		d := distance(m, x.Row(i), query)
+		if sz == k {
+			if d > hd[0] || (d == hd[0] && i > hidx[0]) {
+				continue
+			}
+			hd[0], hidx[0] = d, i
+			nnSiftDown(hd, hidx, 0, sz)
+			continue
+		}
+		hd[sz], hidx[sz] = d, i
+		sz++
+		nnSiftUp(hd, hidx, sz-1)
+	}
+	if cap(out) < sz {
+		out = make([]int, sz)
+	}
+	out = out[:sz]
+	// Pop the heap worst-first into the tail of out: the result comes out
+	// sorted ascending by (distance, index), matching a full sort.
+	for t := sz - 1; t > 0; t-- {
+		out[t] = hidx[0]
+		hd[0], hidx[0] = hd[t], hidx[t]
+		nnSiftDown(hd, hidx, 0, t)
+	}
+	out[0] = hidx[0]
+	return out
+}
+
+// KNNWithin is KNNSelf restricted to the rows listed in candidates: it
+// returns up to k of those rows nearest to the query (excluding self),
+// ordered by increasing distance with ties on the lower row index. The
+// result order depends only on (distance, row index), never on the order of
+// candidates. Like KNNSelf it is O(len(candidates) + k log k) and reuses
+// scratch and out across calls.
+func KNNWithin(x *Matrix, query []float64, candidates []int, k int, m Metric, self int, scratch *NNScratch, out []int) []int {
+	avail := 0
+	for _, i := range candidates {
+		if i != self {
+			avail++
+		}
+	}
+	if k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		if out == nil {
+			return []int{}
+		}
+		return out[:0]
+	}
+	if cap(scratch.dist) < k {
+		scratch.dist = make([]float64, k)
+		scratch.idx = make([]int, k)
+	}
+	hd := scratch.dist[:k]
+	hidx := scratch.idx[:k]
+	sz := 0
+	for _, i := range candidates {
+		if i == self {
+			continue
+		}
+		d := distance(m, x.Row(i), query)
+		if sz == k {
+			if d > hd[0] || (d == hd[0] && i > hidx[0]) {
+				continue
+			}
+			hd[0], hidx[0] = d, i
+			nnSiftDown(hd, hidx, 0, sz)
+			continue
+		}
+		hd[sz], hidx[sz] = d, i
+		sz++
+		nnSiftUp(hd, hidx, sz-1)
+	}
+	if cap(out) < sz {
+		out = make([]int, sz)
+	}
+	out = out[:sz]
+	for t := sz - 1; t > 0; t-- {
+		out[t] = hidx[0]
+		hd[0], hidx[0] = hd[t], hidx[t]
+		nnSiftDown(hd, hidx, 0, t)
+	}
+	out[0] = hidx[0]
+	return out
+}
+
 // KNN returns the indices of the k nearest rows of x to the query (excluding
 // rows listed in exclude), ordered by increasing distance. Ties break on the
-// lower index so results are deterministic.
+// lower index so results are deterministic. Callers that always exclude at
+// most one row (ReliefF, MCFS, landmarking) hit a map-free fast path; use
+// KNNSelf directly to also reuse scratch across queries.
 func KNN(x *Matrix, query []float64, k int, m Metric, exclude map[int]bool) []int {
-	type cand struct {
-		idx  int
-		dist float64
+	if len(exclude) <= 1 {
+		self := -1
+		for i, v := range exclude {
+			if v {
+				self = i
+			}
+		}
+		var scratch NNScratch
+		return KNNSelf(x, query, k, m, self, &scratch, nil)
 	}
-	cands := make([]cand, 0, x.Rows)
-	for i := 0; i < x.Rows; i++ {
+	n := x.Rows
+	avail := 0
+	for i := 0; i < n; i++ {
+		if !exclude[i] {
+			avail++
+		}
+	}
+	if k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		return []int{}
+	}
+	hd := make([]float64, k)
+	hidx := make([]int, k)
+	sz := 0
+	for i := 0; i < n; i++ {
 		if exclude[i] {
 			continue
 		}
-		cands = append(cands, cand{i, distance(m, x.Row(i), query)})
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].dist != cands[b].dist {
-			return cands[a].dist < cands[b].dist
+		d := distance(m, x.Row(i), query)
+		if sz == k {
+			if d > hd[0] || (d == hd[0] && i > hidx[0]) {
+				continue
+			}
+			hd[0], hidx[0] = d, i
+			nnSiftDown(hd, hidx, 0, sz)
+			continue
 		}
-		return cands[a].idx < cands[b].idx
-	})
-	if k > len(cands) {
-		k = len(cands)
+		hd[sz], hidx[sz] = d, i
+		sz++
+		nnSiftUp(hd, hidx, sz-1)
 	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].idx
+	out := make([]int, sz)
+	for t := sz - 1; t > 0; t-- {
+		out[t] = hidx[0]
+		hd[0], hidx[0] = hd[t], hidx[t]
+		nnSiftDown(hd, hidx, 0, t)
 	}
+	out[0] = hidx[0]
 	return out
 }
 
 // KMeans clusters the rows of x into k clusters with Lloyd's algorithm and
 // k-means++ seeding, returning the cluster assignment per row and the
-// centroids. It runs at most maxIter iterations.
+// centroids. It runs at most maxIter iterations. Equivalent to
+// KMeansWorkers with a single worker.
 func KMeans(x *Matrix, k, maxIter int, rng *xrand.RNG) (assign []int, centroids *Matrix) {
+	return KMeansWorkers(x, k, maxIter, rng, 1)
+}
+
+// KMeansWorkers is KMeans with data-parallel assignment and chunked centroid
+// accumulation over at most workers goroutines (<= 0 means GOMAXPROCS). All
+// RNG draws (seeding, empty-cluster reseeds) happen on the calling goroutine
+// and per-chunk partial sums merge in fixed chunk order, so the result is
+// bit-identical for every worker count.
+func KMeansWorkers(x *Matrix, k, maxIter int, rng *xrand.RNG, workers int) (assign []int, centroids *Matrix) {
 	n := x.Rows
 	if k <= 0 || n == 0 {
 		return make([]int, n), NewMatrix(0, x.Cols)
@@ -67,56 +273,73 @@ func KMeans(x *Matrix, k, maxIter int, rng *xrand.RNG) (assign []int, centroids 
 	}
 	centroids = NewMatrix(k, x.Cols)
 
-	// k-means++ seeding.
+	// k-means++ seeding. The picks are serial RNG draws; the min-distance
+	// refresh after each pick is element-wise and safe to chunk.
 	first := rng.Intn(n)
 	copy(centroids.Row(0), x.Row(first))
 	minDist := make([]float64, n)
-	for i := 0; i < n; i++ {
-		minDist[i] = SqDist(x.Row(i), centroids.Row(0))
-	}
+	parallel.Run(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			minDist[i] = SqDist(x.Row(i), centroids.Row(0))
+		}
+	})
 	for c := 1; c < k; c++ {
 		pick := rng.Choice(minDist)
 		copy(centroids.Row(c), x.Row(pick))
-		for i := 0; i < n; i++ {
-			if d := SqDist(x.Row(i), centroids.Row(c)); d < minDist[i] {
-				minDist[i] = d
+		parallel.Run(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := SqDist(x.Row(i), centroids.Row(c)); d < minDist[i] {
+					minDist[i] = d
+				}
 			}
-		}
+		})
 	}
 
 	assign = make([]int, n)
-	counts := make([]int, k)
+	// Per-chunk partials: k*(cols+1) values per chunk — the centroid sums
+	// plus the member count (exact in float64) for each cluster.
+	stride := k * (x.Cols + 1)
+	acc := make([]float64, stride)
+	var scratch []float64
+	chunkChanged := make([]bool, parallel.NumChunks(n))
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i := 0; i < n; i++ {
-			best, bestD := 0, SqDist(x.Row(i), centroids.Row(0))
-			for c := 1; c < k; c++ {
-				if d := SqDist(x.Row(i), centroids.Row(c)); d < bestD {
-					best, bestD = c, d
+		parallel.Run(workers, n, func(chunk, lo, hi int) {
+			changed := false
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, SqDist(x.Row(i), centroids.Row(0))
+				for c := 1; c < k; c++ {
+					if d := SqDist(x.Row(i), centroids.Row(c)); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changed = true
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+			chunkChanged[chunk] = changed
+		})
+		changed := false
+		for _, c := range chunkChanged {
+			changed = changed || c
 		}
 		if !changed && iter > 0 {
 			break
 		}
-		// Recompute centroids.
-		for i := range centroids.Data {
-			centroids.Data[i] = 0
-		}
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			Axpy(1, x.Row(i), centroids.Row(assign[i]))
-			counts[assign[i]]++
-		}
+		// Recompute centroids via deterministic chunked reduction.
+		parallel.ReduceVec(workers, n, stride, acc, &scratch, func(_, lo, hi int, partial []float64) {
+			for i := lo; i < hi; i++ {
+				c := assign[i]
+				Axpy(1, x.Row(i), partial[c*(x.Cols+1):c*(x.Cols+1)+x.Cols])
+				partial[c*(x.Cols+1)+x.Cols]++
+			}
+		})
 		for c := 0; c < k; c++ {
-			if counts[c] > 0 {
-				Scale(1/float64(counts[c]), centroids.Row(c))
+			sum := acc[c*(x.Cols+1) : c*(x.Cols+1)+x.Cols]
+			count := acc[c*(x.Cols+1)+x.Cols]
+			if count > 0 {
+				copy(centroids.Row(c), sum)
+				Scale(1/count, centroids.Row(c))
 			} else {
 				// Re-seed an empty cluster at a random point.
 				copy(centroids.Row(c), x.Row(rng.Intn(n)))

@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/parallel"
+	"github.com/declarative-fs/dfs/internal/xrand"
+)
+
+// referenceKNN is the pre-heap implementation (materialize every candidate,
+// full sort by (distance, index)) kept as the behavioral oracle for the
+// bounded-heap rewrite.
+func referenceKNN(x *Matrix, query []float64, k int, m Metric, exclude map[int]bool) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, 0, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		if exclude[i] {
+			continue
+		}
+		cands = append(cands, cand{i, distance(m, x.Row(i), query)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// fuzzMatrix draws a rows×cols matrix whose values are quantized to a small
+// grid so distance ties are common and the (distance, index) tie-break is
+// actually exercised.
+func fuzzMatrix(rng *xrand.RNG, rows, cols int, quantized bool) *Matrix {
+	x := NewMatrix(rows, cols)
+	for i := range x.Data {
+		v := rng.Float64()
+		if quantized {
+			v = math.Round(v*4) / 4
+		}
+		x.Data[i] = v
+	}
+	return x
+}
+
+func TestKNNMatchesReferenceFuzzed(t *testing.T) {
+	rng := xrand.New(41)
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + rng.Intn(120)
+		cols := 1 + rng.Intn(6)
+		x := fuzzMatrix(rng, rows, cols, trial%2 == 0)
+		q := x.Row(rng.Intn(rows))
+		k := 1 + rng.Intn(rows+2) // sometimes k > available
+		metric := Euclidean
+		if trial%3 == 0 {
+			metric = Manhattan
+		}
+		var exclude map[int]bool
+		switch trial % 4 {
+		case 0: // nil map
+		case 1: // single self-exclusion (the ReliefF/MCFS pattern)
+			exclude = map[int]bool{rng.Intn(rows): true}
+		case 2: // false-valued entry must not exclude
+			exclude = map[int]bool{rng.Intn(rows): false}
+		default: // multi-row exclusion takes the general path
+			exclude = map[int]bool{rng.Intn(rows): true, rng.Intn(rows): true, rng.Intn(rows): true}
+		}
+		want := referenceKNN(x, q, k, metric, exclude)
+		got := KNN(x, q, k, metric, exclude)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (rows=%d k=%d excl=%v): KNN = %v, want %v", trial, rows, k, exclude, got, want)
+		}
+	}
+}
+
+func TestKNNWithinMatchesReferenceFuzzed(t *testing.T) {
+	rng := xrand.New(43)
+	var scratch NNScratch
+	var out []int
+	for trial := 0; trial < 60; trial++ {
+		rows := 2 + rng.Intn(100)
+		x := fuzzMatrix(rng, rows, 3, trial%2 == 0)
+		// Candidate subset in increasing index order, as byClass produces.
+		var cands []int
+		for i := 0; i < rows; i++ {
+			if rng.Intn(2) == 0 {
+				cands = append(cands, i)
+			}
+		}
+		self := rng.Intn(rows)
+		k := 1 + rng.Intn(12)
+		q := x.Row(self)
+		// Oracle: restrict the reference to the candidate set via exclusion.
+		excl := map[int]bool{self: true}
+		inCands := make(map[int]bool, len(cands))
+		for _, c := range cands {
+			inCands[c] = true
+		}
+		for i := 0; i < rows; i++ {
+			if !inCands[i] {
+				excl[i] = true
+			}
+		}
+		want := referenceKNN(x, q, k, Manhattan, excl)
+		out = KNNWithin(x, q, cands, k, Manhattan, self, &scratch, out)
+		if len(out) != len(want) || (len(want) > 0 && !reflect.DeepEqual(out, want)) {
+			t.Fatalf("trial %d: KNNWithin = %v, want %v", trial, out, want)
+		}
+	}
+}
+
+func TestKNNSelfSteadyStateAllocFree(t *testing.T) {
+	if parallel.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	rng := xrand.New(5)
+	x := fuzzMatrix(rng, 300, 8, false)
+	var scratch NNScratch
+	out := make([]int, 0, 16)
+	q := x.Row(7)
+	out = KNNSelf(x, q, 11, Euclidean, 7, &scratch, out) // warm the scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		out = KNNSelf(x, q, 11, Euclidean, 7, &scratch, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("KNNSelf steady state allocates %.1f objects per query, want 0", allocs)
+	}
+}
+
+// TestKMeansBitIdenticalAcrossWorkers pins the deterministic-reduction
+// contract: assignments and centroids must match bit for bit at any worker
+// count, because chunk geometry and merge order depend only on the row count.
+func TestKMeansBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := xrand.New(11)
+	x := fuzzMatrix(rng, 500, 6, false)
+	run := func(workers int) ([]int, *Matrix) {
+		return KMeansWorkers(x, 5, 30, xrand.New(99), workers)
+	}
+	wantA, wantC := run(1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		gotA, gotC := run(workers)
+		if !reflect.DeepEqual(gotA, wantA) {
+			t.Fatalf("workers=%d: assignments differ", workers)
+		}
+		for i := range wantC.Data {
+			if math.Float64bits(gotC.Data[i]) != math.Float64bits(wantC.Data[i]) {
+				t.Fatalf("workers=%d: centroid value %d differs: %v vs %v", workers, i, gotC.Data[i], wantC.Data[i])
+			}
+		}
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	rng := xrand.New(3)
+	x := fuzzMatrix(rng, 1000, 10, false)
+	q := x.Row(0)
+	b.Run("heap", func(b *testing.B) {
+		var scratch NNScratch
+		var out []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = KNNSelf(x, q, 11, Euclidean, 0, &scratch, out)
+		}
+	})
+	b.Run("reference-sort", func(b *testing.B) {
+		excl := map[int]bool{0: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referenceKNN(x, q, 11, Euclidean, excl)
+		}
+	})
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := xrand.New(3)
+	x := fuzzMatrix(rng, 800, 8, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KMeans(x, 6, 20, xrand.New(7))
+	}
+}

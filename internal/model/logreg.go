@@ -5,11 +5,14 @@ import (
 	"math"
 
 	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/parallel"
 )
 
 // LogReg is l2-regularized binary logistic regression trained by full-batch
 // gradient descent. Training is deterministic: no random initialization is
-// needed because the regularized logistic loss is strictly convex.
+// needed because the regularized logistic loss is strictly convex, and the
+// gradient is a fixed-chunk ordered reduction, so the fitted coefficients
+// are bit-identical for every Workers setting.
 type LogReg struct {
 	// C is the inverse regularization strength (sklearn convention).
 	C float64
@@ -18,6 +21,9 @@ type LogReg struct {
 	// LearningRate is the (constant) step size; features are expected in
 	// [0, 1] so the default is stable.
 	LearningRate float64
+	// Workers bounds the goroutines of the per-epoch gradient pass;
+	// <= 1 trains single-threaded. It never changes the fitted model.
+	Workers int
 
 	w        []float64 // weights, one per feature
 	b        float64   // intercept
@@ -37,7 +43,7 @@ func (m *LogReg) Name() string { return string(KindLR) }
 
 // Clone implements Classifier.
 func (m *LogReg) Clone() Classifier {
-	return &LogReg{C: m.C, Epochs: m.Epochs, LearningRate: m.LearningRate}
+	return &LogReg{C: m.C, Epochs: m.Epochs, LearningRate: m.LearningRate, Workers: m.Workers}
 }
 
 // Fit implements Classifier.
@@ -59,30 +65,68 @@ func (m *LogReg) Fit(d *dataset.Dataset) error {
 	if m.C > 0 {
 		lambda = 1 / (m.C * float64(n))
 	}
-	grad := make([]float64, p)
-	for epoch := 0; epoch < m.Epochs; epoch++ {
-		for j := range grad {
-			grad[j] = 0
-		}
-		gb := 0.0
-		for i := 0; i < n; i++ {
+	// Per-epoch gradient as a deterministic chunked reduction: chunk
+	// boundaries depend only on n, each chunk accumulates a private partial
+	// (slot p holds the intercept gradient), and partials merge sequentially
+	// in chunk order — bit-identical coefficients for any worker count.
+	nc := parallel.NumChunks(n)
+	stride := p + 1
+	partials := make([]float64, nc*stride)
+	grad := make([]float64, stride)
+	w := m.w
+	// One closure for all epochs (it would otherwise allocate per epoch);
+	// b is re-snapshotted before each Run, which always returns before the
+	// next epoch reads or writes it.
+	b := m.b
+	pass := func(c, lo, hi int) {
+		part := partials[c*stride : (c+1)*stride]
+		// Fused row pass: score and gradient contribution in one
+		// traversal of the cache-hot row. The first row of the chunk
+		// assigns instead of accumulating, which folds the per-epoch
+		// gradient zeroing into the pass itself.
+		for i := lo; i < hi; i++ {
 			row := d.X.Row(i)
-			pHat := sigmoid(m.rawScore(row))
-			err := pHat - float64(d.Y[i])
+			s := b
 			for j, v := range row {
-				grad[j] += err * v
+				s += w[j] * v
 			}
-			gb += err
+			err := sigmoid(s) - float64(d.Y[i])
+			if i == lo {
+				for j, v := range row {
+					part[j] = err * v
+				}
+				part[p] = err
+				continue
+			}
+			for j, v := range row {
+				part[j] += err * v
+			}
+			part[p] += err
+		}
+	}
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1 // zero-value models train serially; the evaluator passes an explicit bound
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		b = m.b
+		parallel.Run(workers, n, pass)
+		copy(grad, partials[:stride])
+		for c := 1; c < nc; c++ {
+			part := partials[c*stride : (c+1)*stride]
+			for j, v := range part {
+				grad[j] += v
+			}
 		}
 		inv := 1 / float64(n)
 		lr := m.LearningRate
 		// Proximal step for the l2 term: unconditionally stable even for
 		// very small C (large lambda).
 		shrink := 1 / (1 + lr*lambda)
-		for j := range m.w {
-			m.w[j] = (m.w[j] - lr*grad[j]*inv) * shrink
+		for j := range w {
+			w[j] = (w[j] - lr*grad[j]*inv) * shrink
 		}
-		m.b -= lr * gb * inv
+		m.b -= lr * grad[p] * inv
 	}
 	m.fitted = true
 	return nil

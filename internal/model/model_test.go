@@ -484,16 +484,6 @@ func TestPropertyGiniBounds(t *testing.T) {
 	}
 }
 
-func BenchmarkLogRegFit(b *testing.B) {
-	d := separable(300, 1)
-	for i := 0; i < b.N; i++ {
-		lr := NewLogReg(1)
-		if err := lr.Fit(d); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkTreeFit(b *testing.B) {
 	d := xorData(300, 1)
 	for i := 0; i < b.N; i++ {

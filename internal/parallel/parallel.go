@@ -1,0 +1,140 @@
+// Package parallel provides a small bounded-worker fork/join facility with
+// deterministic chunking: the chunk boundaries of an input of size n depend
+// only on n, never on the worker count, so a caller that computes per-chunk
+// partial results and merges them sequentially in chunk order produces
+// bit-identical output for any worker count, including 1.
+//
+// The facility is deliberately tiny. It spawns at most workers-1 goroutines
+// per call (the caller's goroutine processes chunks too), never retains
+// goroutines between calls, and runs fully inline when a single worker or a
+// single chunk makes goroutines pointless. Kernels own their scratch buffers;
+// this package only owns the chunk geometry and the join.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minChunkLen is the smallest number of elements worth handing to a
+	// chunk: below this, scheduling overhead dominates the row work of the
+	// kernels built on this package.
+	minChunkLen = 64
+	// maxChunks caps the number of chunks (and therefore the size of any
+	// per-chunk partial-result buffer) regardless of input size.
+	maxChunks = 32
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean "use all of
+// GOMAXPROCS", anything else is taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// NumChunks returns the number of chunks an input of size n is split into.
+// It is a pure function of n — worker count never enters — which is what
+// makes chunk-partial reductions reproducible across machines and flags.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := (n + minChunkLen - 1) / minChunkLen
+	if c > maxChunks {
+		c = maxChunks
+	}
+	return c
+}
+
+// ChunkBounds returns the half-open element range [lo, hi) of chunk c for an
+// input of size n. Chunks partition [0, n) contiguously and every chunk is
+// non-empty for n > 0.
+func ChunkBounds(n, c int) (lo, hi int) {
+	nc := NumChunks(n)
+	return c * n / nc, (c + 1) * n / nc
+}
+
+// Run invokes fn once per chunk of an input of size n, using at most workers
+// goroutines (the calling goroutine counts as one). fn receives the chunk
+// index and its [lo, hi) element range. Chunks may execute in any order and
+// concurrently; fn must only write chunk-private state (e.g. a per-chunk
+// partial slice indexed by the chunk number). Run returns after every chunk
+// has completed. With workers <= 1 — or when the input yields a single
+// chunk — everything runs inline on the caller's goroutine in chunk order.
+func Run(workers, n int, fn func(chunk, lo, hi int)) {
+	nc := NumChunks(n)
+	if nc == 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > nc {
+		w = nc
+	}
+	if w <= 1 || nc == 1 {
+		for c := 0; c < nc; c++ {
+			lo, hi := ChunkBounds(n, c)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nc {
+				return
+			}
+			lo, hi := ChunkBounds(n, c)
+			fn(c, lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// ReduceVec performs a deterministic chunked map-reduce over an input of
+// size n whose per-chunk partial result is a float64 vector of length dim.
+// fn fills partial (zeroed on entry) for its chunk; afterwards the partials
+// are accumulated into dst (also zeroed) sequentially in chunk order, so the
+// floating-point merge order — and therefore every bit of dst — is fixed by
+// (n, dim) alone. scratch is reused across calls when its capacity allows.
+func ReduceVec(workers, n, dim int, dst []float64, scratch *[]float64, fn func(chunk, lo, hi int, partial []float64)) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	nc := NumChunks(n)
+	if nc == 0 || dim == 0 {
+		return
+	}
+	need := nc * dim
+	buf := *scratch
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	buf = buf[:need]
+	*scratch = buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	Run(workers, n, func(c, lo, hi int) {
+		fn(c, lo, hi, buf[c*dim:(c+1)*dim])
+	})
+	for c := 0; c < nc; c++ {
+		part := buf[c*dim : (c+1)*dim]
+		for i, v := range part {
+			dst[i] += v
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNumChunksAndBounds(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 127, 128, 1000, 2048, 5000, 1 << 20} {
+		nc := NumChunks(n)
+		if n == 0 {
+			if nc != 0 {
+				t.Fatalf("NumChunks(0) = %d", nc)
+			}
+			continue
+		}
+		if nc < 1 || nc > maxChunks {
+			t.Fatalf("NumChunks(%d) = %d out of range", n, nc)
+		}
+		if n <= minChunkLen && nc != 1 {
+			t.Fatalf("NumChunks(%d) = %d, want 1 for small inputs", n, nc)
+		}
+		prev := 0
+		for c := 0; c < nc; c++ {
+			lo, hi := ChunkBounds(n, c)
+			if lo != prev {
+				t.Fatalf("n=%d chunk %d: lo=%d, want %d (contiguous)", n, c, lo, prev)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d chunk %d: empty range [%d,%d)", n, c, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != n {
+			t.Fatalf("n=%d: chunks cover [0,%d), want [0,%d)", n, prev, n)
+		}
+	}
+}
+
+func TestRunCoversEveryElementOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		const n = 5000
+		var hits [n]atomic.Int32
+		Run(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: element %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndTinyInputs(t *testing.T) {
+	called := 0
+	Run(4, 0, func(_, _, _ int) { called++ })
+	if called != 0 {
+		t.Fatalf("Run over empty input invoked fn %d times", called)
+	}
+	Run(4, 1, func(c, lo, hi int) {
+		called++
+		if c != 0 || lo != 0 || hi != 1 {
+			t.Fatalf("Run(n=1) chunk=(%d,%d,%d)", c, lo, hi)
+		}
+	})
+	if called != 1 {
+		t.Fatalf("Run(n=1) invoked fn %d times", called)
+	}
+}
+
+// TestReduceVecBitIdenticalAcrossWorkers is the core contract: the reduced
+// vector must match bit for bit no matter how many workers execute the
+// chunks, because chunk geometry and merge order are functions of n alone.
+func TestReduceVecBitIdenticalAcrossWorkers(t *testing.T) {
+	const n, dim = 4097, 9
+	// Values chosen so summation order matters in floating point.
+	vals := make([]float64, n)
+	s := 1.0
+	for i := range vals {
+		s = s*1.000000119 + 1e-7
+		vals[i] = s * math.Pow(-1.0001, float64(i%17))
+	}
+	sum := func(workers int) []float64 {
+		dst := make([]float64, dim)
+		var scratch []float64
+		ReduceVec(workers, n, dim, dst, &scratch, func(_, lo, hi int, partial []float64) {
+			for i := lo; i < hi; i++ {
+				for d := 0; d < dim; d++ {
+					partial[d] += vals[i] * float64(d+1)
+				}
+			}
+		})
+		return dst
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 3, 4, 8, 0} {
+		got := sum(workers)
+		for d := range want {
+			if math.Float64bits(got[d]) != math.Float64bits(want[d]) {
+				t.Fatalf("workers=%d dim %d: %v != %v (not bit-identical)", workers, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+func TestReduceVecReusesScratch(t *testing.T) {
+	const n, dim = 1000, 4
+	dst := make([]float64, dim)
+	var scratch []float64
+	fill := func(_, lo, hi int, partial []float64) {
+		for i := lo; i < hi; i++ {
+			partial[0]++
+		}
+	}
+	ReduceVec(1, n, dim, dst, &scratch, fill)
+	first := &scratch[0]
+	ReduceVec(1, n, dim, dst, &scratch, fill)
+	if &scratch[0] != first {
+		t.Fatal("ReduceVec reallocated scratch despite sufficient capacity")
+	}
+	if dst[0] != float64(n) {
+		t.Fatalf("dst[0] = %v, want %v (dst must be re-zeroed each call)", dst[0], float64(n))
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("Workers(3) != 3")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("Workers(<=0) must resolve to at least 1")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package parallel
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation
+// tripwires skip under it: race instrumentation changes allocation counts.
+const RaceEnabled = true

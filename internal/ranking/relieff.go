@@ -6,6 +6,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/budget"
 	"github.com/declarative-fs/dfs/internal/dataset"
 	"github.com/declarative-fs/dfs/internal/linalg"
+	"github.com/declarative-fs/dfs/internal/parallel"
 	"github.com/declarative-fs/dfs/internal/xrand"
 )
 
@@ -18,6 +19,11 @@ type ReliefF struct {
 	Neighbors int
 	// Samples is the number of seed instances m; 0 means min(rows, 100).
 	Samples int
+	// Workers bounds the goroutines used to process seed instances;
+	// <= 1 runs single-threaded. Every worker count produces bit-identical
+	// scores: each seed's contribution is computed independently and the
+	// contributions are summed sequentially in seed order.
+	Workers int
 }
 
 // Name implements Ranker.
@@ -25,6 +31,9 @@ func (ReliefF) Name() string { return "ReliefF" }
 
 // Family implements Ranker.
 func (ReliefF) Family() budget.RankingFamily { return budget.RankReliefF }
+
+// WithWorkers implements WorkerTunable.
+func (r ReliefF) WithWorkers(w int) Ranker { r.Workers = w; return r }
 
 // Rank implements Ranker.
 func (r ReliefF) Rank(train *dataset.Dataset, rng *xrand.RNG) ([]float64, error) {
@@ -58,23 +67,60 @@ func (r ReliefF) Rank(train *dataset.Dataset, rng *xrand.RNG) ([]float64, error)
 
 	w := make([]float64, p)
 	seeds := rng.Sample(n, m)
-	for _, i := range seeds {
-		row := train.X.Row(i)
-		y := train.Y[i]
-		hits := nearestWithin(train, byClass[y], i, row, k)
-		misses := nearestWithin(train, byClass[1-y], i, row, k)
-		if len(hits) == 0 || len(misses) == 0 {
-			continue
-		}
-		for j := 0; j < p; j++ {
-			var hitDiff, missDiff float64
+	// Phase 1 (parallel): each seed's per-feature contribution lands in its
+	// own slot of deltas. Neighbour-heap and accumulator scratch is reused
+	// across all seeds of a chunk.
+	deltas := make([]float64, len(seeds)*p)
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1 // zero-value rankers run serially; core passes an explicit bound
+	}
+	parallel.Run(workers, len(seeds), func(_, lo, hi int) {
+		var hitScratch, missScratch linalg.NNScratch
+		var hits, misses []int
+		hitAcc := make([]float64, p)
+		missAcc := make([]float64, p)
+		for s := lo; s < hi; s++ {
+			i := seeds[s]
+			row := train.X.Row(i)
+			y := train.Y[i]
+			hits = linalg.KNNWithin(train.X, row, byClass[y], k, linalg.Manhattan, i, &hitScratch, hits)
+			misses = linalg.KNNWithin(train.X, row, byClass[1-y], k, linalg.Manhattan, i, &missScratch, misses)
+			if len(hits) == 0 || len(misses) == 0 {
+				continue
+			}
+			// Row-wise accumulation: one pass over each neighbour's row.
+			// For a fixed feature j the neighbour additions happen in the
+			// same order as the seed implementation's inner loops, so the
+			// sums are bit-identical.
+			for j := 0; j < p; j++ {
+				hitAcc[j], missAcc[j] = 0, 0
+			}
 			for _, h := range hits {
-				hitDiff += absDiff(row[j], train.X.At(h, j))
+				hrow := train.X.Row(h)
+				for j, v := range hrow {
+					hitAcc[j] += absDiff(row[j], v)
+				}
 			}
 			for _, ms := range misses {
-				missDiff += absDiff(row[j], train.X.At(ms, j))
+				mrow := train.X.Row(ms)
+				for j, v := range mrow {
+					missAcc[j] += absDiff(row[j], v)
+				}
 			}
-			w[j] += missDiff/float64(len(misses)) - hitDiff/float64(len(hits))
+			delta := deltas[s*p : (s+1)*p]
+			nh, nm := float64(len(hits)), float64(len(misses))
+			for j := 0; j < p; j++ {
+				delta[j] = missAcc[j]/nm - hitAcc[j]/nh
+			}
+		}
+	})
+	// Phase 2 (sequential): merge contributions in seed order — the exact
+	// accumulation order of the serial implementation, for any worker count.
+	for s := range seeds {
+		delta := deltas[s*p : (s+1)*p]
+		for j := 0; j < p; j++ {
+			w[j] += delta[j]
 		}
 	}
 	// Shift to non-negative scores preserving order.
@@ -88,45 +134,6 @@ func (r ReliefF) Rank(train *dataset.Dataset, rng *xrand.RNG) ([]float64, error)
 		w[j] -= lo
 	}
 	return w, nil
-}
-
-// nearestWithin returns up to k nearest rows (Manhattan) among candidates,
-// excluding self.
-func nearestWithin(d *dataset.Dataset, candidates []int, self int, row []float64, k int) []int {
-	type cand struct {
-		idx  int
-		dist float64
-	}
-	cs := make([]cand, 0, len(candidates))
-	for _, i := range candidates {
-		if i == self {
-			continue
-		}
-		cs = append(cs, cand{i, linalg.L1Dist(row, d.X.Row(i))})
-	}
-	if len(cs) == 0 {
-		return nil
-	}
-	// Partial selection sort for the k nearest (k is small).
-	if k > len(cs) {
-		k = len(cs)
-	}
-	out := make([]int, 0, k)
-	used := make([]bool, len(cs))
-	for sel := 0; sel < k; sel++ {
-		best := -1
-		for i, c := range cs {
-			if used[i] {
-				continue
-			}
-			if best < 0 || c.dist < cs[best].dist || (c.dist == cs[best].dist && c.idx < cs[best].idx) {
-				best = i
-			}
-		}
-		used[best] = true
-		out = append(out, cs[best].idx)
-	}
-	return out
 }
 
 func absDiff(a, b float64) float64 {
