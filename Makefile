@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_NOTE ?=
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench ci dfsd
 
 all: ci
 
@@ -27,5 +27,9 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ \
 		. ./internal/linalg ./internal/ranking ./internal/model \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json -note "$(BENCH_NOTE)"
+
+# dfsd builds the selection-service daemon (see README "Serving").
+dfsd:
+	$(GO) build -o dfsd ./cmd/dfsd
 
 ci: vet build race

@@ -23,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
@@ -33,6 +32,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/core"
 	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/report"
+	"github.com/declarative-fs/dfs/internal/sigctx"
 	"github.com/declarative-fs/dfs/internal/synth"
 )
 
@@ -83,7 +83,9 @@ func main() {
 
 	// SIGINT/SIGTERM cancel in-flight pools at their next budget charge;
 	// buildPool then flushes whatever completed instead of losing the run.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// The handler is latched: a second signal during the flush force-exits
+	// with sigctx.ForceExitCode instead of being silently swallowed.
+	ctx, stop := sigctx.WithSignals(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// Observability is opt-in: without any of the three flags the context

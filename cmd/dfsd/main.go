@@ -1,0 +1,125 @@
+// Command dfsd is the long-running declarative-feature-selection service: a
+// fault-tolerant HTTP/JSON daemon that accepts scenario-selection jobs,
+// executes them on a bounded worker pool, and drains gracefully.
+//
+// Usage:
+//
+//	dfsd -addr 127.0.0.1:8100 -data ./dfsd-data
+//
+// Submit a job, poll it, fetch the result:
+//
+//	curl -d '{"scenarios":6,"seed":3,"max_evals":15,"tenant":"alice"}' http://127.0.0.1:8100/jobs
+//	curl http://127.0.0.1:8100/jobs/job-000000
+//	curl http://127.0.0.1:8100/jobs/job-000000/result > pool.csv
+//
+// Robustness contract: a full queue answers 429 + Retry-After instead of
+// blocking; SIGTERM/SIGINT stop admission, checkpoint in-flight jobs, and
+// exit 0; restarting with the same -data directory resumes interrupted jobs
+// bit-identically. A second signal during the drain force-exits with status
+// 131.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/serve"
+	"github.com/declarative-fs/dfs/internal/sigctx"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8100", "listen address for the HTTP API")
+	data := flag.String("data", "dfsd-data", "job directory (lifecycle files + checkpoints); reused across restarts to resume")
+	queueCap := flag.Int("queue", 16, "bounded job queue capacity; a full queue rejects with 429")
+	workers := flag.Int("workers", 2, "concurrent job executions")
+	poolWorkers := flag.Int("pool-workers", 0, "scenario/strategy parallelism inside each job (0 = GOMAXPROCS)")
+	maxScenarios := flag.Int("max-scenarios", 1000, "admission cap on a job's scenario count")
+	deadline := flag.Duration("deadline", 0, "default per-job wall deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain may wait for in-flight jobs to checkpoint")
+	tenantBudgets := flag.String("tenant-budget", "", "per-tenant simulated-cost budgets, e.g. 'alice=50000,bob=1e6'")
+	defaultBudget := flag.Float64("default-tenant-budget", 0, "budget for tenants not listed in -tenant-budget (0 = unlimited)")
+	retries := flag.Int("retries", 0, "job-level transient retry attempts (0 = default policy)")
+	retryBase := flag.Duration("retry-base", 250*time.Millisecond, "base backoff before the first transient retry")
+	retryCap := flag.Duration("retry-cap", 5*time.Second, "backoff cap for transient retries")
+	retrySeed := flag.Uint64("retry-seed", 1, "seed of the deterministic retry jitter")
+	flag.Parse()
+
+	budgets, err := parseBudgets(*tenantBudgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfsd:", err)
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := serve.New(serve.Config{
+		Dir:                 *data,
+		QueueCap:            *queueCap,
+		Workers:             *workers,
+		PoolWorkers:         *poolWorkers,
+		MaxScenarios:        *maxScenarios,
+		DefaultDeadline:     *deadline,
+		TenantBudgets:       budgets,
+		DefaultTenantBudget: *defaultBudget,
+		Retry: core.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *retryBase,
+			CapBackoff:  *retryCap,
+			JitterSeed:  *retrySeed,
+		},
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfsd:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "dfsd:", err)
+		os.Exit(1)
+	}
+	logger.Printf("dfsd serving on http://%s (data %s, queue %d, workers %d)",
+		srv.Addr(), *data, *queueCap, *workers)
+
+	// First SIGINT/SIGTERM: graceful drain (stop admitting, checkpoint
+	// in-flight jobs, persist lifecycle files, exit 0). Second signal:
+	// force-exit 131 — the checkpoints are fsync'd per record, so even a
+	// forced exit loses no completed scenario.
+	ctx, stop := sigctx.WithSignals(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "dfsd:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// parseBudgets parses "name=units,name=units" into the tenant budget map.
+func parseBudgets(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("invalid -tenant-budget entry %q (want name=units)", pair)
+		}
+		units, err := strconv.ParseFloat(val, 64)
+		if err != nil || units < 0 {
+			return nil, fmt.Errorf("invalid budget for tenant %q: %q", name, val)
+		}
+		out[name] = units
+	}
+	return out, nil
+}

@@ -166,6 +166,16 @@ func RunStrategyContext(ctx context.Context, s Strategy, scn *Scenario, seed uin
 // entries trained under the original seed; the results are byte-identical to
 // memo-less runs either way.
 func RunStrategySharedContext(ctx context.Context, s Strategy, scn *Scenario, memo *SharedMemo, seed uint64, maxEvals int) (RunResult, error) {
+	return RunStrategyRetryContext(ctx, s, scn, memo, seed, maxEvals, RetryPolicy{})
+}
+
+// RunStrategyRetryContext is RunStrategySharedContext under an explicit
+// RetryPolicy: transient failures are retried up to policy.Attempts() times
+// under PerturbSeed-derived seeds, waiting policy.Backoff between attempts
+// with the wait itself honoring cancellation (a SIGTERM mid-backoff returns
+// ctx.Err() immediately instead of sleeping through the drain). The zero
+// policy reproduces RunStrategySharedContext exactly.
+func RunStrategyRetryContext(ctx context.Context, s Strategy, scn *Scenario, memo *SharedMemo, seed uint64, maxEvals int, policy RetryPolicy) (RunResult, error) {
 	rt := obs.FromContext(ctx)
 	if rt != nil {
 		span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "strategy_run",
@@ -175,9 +185,13 @@ func RunStrategySharedContext(ctx context.Context, s Strategy, scn *Scenario, me
 		ctx = obs.ContextWithSpan(ctx, span)
 		rt.Metrics().Counter("strategy.runs").Inc()
 	}
+	attempts := policy.Attempts()
 	var lastErr error
-	for attempt := 0; attempt <= DefaultTransientRetries; attempt++ {
-		if err := ctx.Err(); err != nil {
+	for attempt := 0; attempt < attempts; attempt++ {
+		// Between attempts: back off per the policy (ctx-aware), and for the
+		// first attempt just check for cancellation. Either way a canceled
+		// context surfaces as the run's failure, never as a silent sleep.
+		if err := policy.Wait(ctx, attempt); err != nil {
 			finishStrategyObs(rt, ctx, s.Name(), RunResult{}, err)
 			return RunResult{}, err
 		}
@@ -191,7 +205,7 @@ func RunStrategySharedContext(ctx context.Context, s Strategy, scn *Scenario, me
 		if !IsTransient(err) {
 			break
 		}
-		if rt != nil && attempt < DefaultTransientRetries {
+		if rt != nil && attempt < attempts-1 {
 			rt.Metrics().Counter("strategy.retries").Inc()
 			rt.Tracer().Event(obs.SpanFromContext(ctx), "retry",
 				obs.Int("attempt", int64(attempt+1)),

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/model"
+)
+
+// TestRetryPolicyZeroValue pins the compatibility contract: the zero policy
+// must reproduce the historical hardcoded behavior (DefaultTransientRetries
+// immediate retries) exactly.
+func TestRetryPolicyZeroValue(t *testing.T) {
+	var p RetryPolicy
+	if got, want := p.Attempts(), DefaultTransientRetries+1; got != want {
+		t.Fatalf("zero policy attempts = %d, want %d", got, want)
+	}
+	for k := 0; k < 5; k++ {
+		if d := p.Backoff(k); d != 0 {
+			t.Fatalf("zero policy Backoff(%d) = %v, want 0", k, d)
+		}
+	}
+	start := time.Now()
+	if err := p.Wait(context.Background(), 1); err != nil {
+		t.Fatalf("zero policy Wait: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("zero policy Wait slept")
+	}
+}
+
+// TestRetryPolicyBackoffDeterministic pins the schedule: pure function of
+// (policy, k), jittered into [nominal/2, nominal), capped exponential.
+func TestRetryPolicyBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseBackoff: 100 * time.Millisecond, CapBackoff: time.Second, JitterSeed: 7}
+	nominal := func(k int) time.Duration {
+		d := p.BaseBackoff
+		for i := 1; i < k; i++ {
+			d *= 2
+			if d > p.CapBackoff {
+				break
+			}
+		}
+		if d > p.CapBackoff {
+			d = p.CapBackoff
+		}
+		return d
+	}
+	for k := 1; k <= 12; k++ {
+		a, b := p.Backoff(k), p.Backoff(k)
+		if a != b {
+			t.Fatalf("Backoff(%d) not deterministic: %v vs %v", k, a, b)
+		}
+		n := nominal(k)
+		if a < n/2 || a >= n {
+			t.Fatalf("Backoff(%d) = %v outside jitter window [%v, %v)", k, a, n/2, n)
+		}
+	}
+	other := p
+	other.JitterSeed = 8
+	diff := false
+	for k := 1; k <= 12; k++ {
+		if p.Backoff(k) != other.Backoff(k) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different jitter seeds produced identical schedules")
+	}
+}
+
+// TestRetryPolicyWaitCancel pins that a backoff wait is cut short by
+// cancellation instead of sleeping through it.
+func TestRetryPolicyWaitCancel(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseBackoff: 30 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Wait(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait under cancellation = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait ignored cancellation and slept on")
+	}
+}
+
+// TestRetryRespectsCancellationMidBackoff drives the full strategy-run
+// retry loop: a strategy that always fails transiently under a policy with
+// a long backoff must return the cancellation promptly when the context is
+// canceled between attempts, not after the backoff expires.
+func TestRetryRespectsCancellationMidBackoff(t *testing.T) {
+	scn := mustScenario(t, easyConstraints(), model.KindLR, ModeSatisfy)
+	s := &scriptedStrategy{inner: mustStrategy(t, "SFS(NR)"), failFirst: 1 << 30,
+		fault: func() error { return &testTransientErr{} }}
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 30 * time.Second, JitterSeed: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunStrategyRetryContext(ctx, s, scn, nil, 7, 20, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("retry loop slept through the cancellation")
+	}
+}
+
+// TestRetryPolicyMoreAttempts pins that MaxAttempts really grants extra
+// attempts beyond the default: a strategy failing transiently 4 times
+// succeeds under a 5-attempt policy but exhausts the zero policy.
+func TestRetryPolicyMoreAttempts(t *testing.T) {
+	scn := mustScenario(t, easyConstraints(), model.KindLR, ModeSatisfy)
+	mk := func() *scriptedStrategy {
+		return &scriptedStrategy{inner: mustStrategy(t, "SFS(NR)"), failFirst: 4,
+			fault: func() error { return &testTransientErr{} }}
+	}
+	if _, err := RunStrategyRetryContext(context.Background(), mk(), scn, nil, 7, 20, RetryPolicy{}); err == nil {
+		t.Fatal("zero policy unexpectedly survived 4 transient failures")
+	}
+	res, err := RunStrategyRetryContext(context.Background(), mk(), scn, nil, 7, 20, RetryPolicy{MaxAttempts: 5})
+	if err != nil {
+		t.Fatalf("5-attempt policy: %v", err)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("retried run produced no evaluations")
+	}
+}
+
+// testTransientErr classifies as transient via the retry interface.
+type testTransientErr struct{}
+
+func (*testTransientErr) Error() string   { return "test: transient" }
+func (*testTransientErr) Transient() bool { return true }

@@ -89,6 +89,13 @@ func (f Fault) fire(site string, index int) error {
 	}
 }
 
+// Fire triggers the fault's error/panic payload outside the built-in
+// decorators, for fault scripts at other granularities (e.g. the
+// servicefault subpackage's per-job faults). Delay and NaNCost have no
+// error payload and return nil — their effects are site-specific and the
+// caller applies them itself.
+func (f Fault) Fire(site string, index int) error { return f.fire(site, index) }
+
 // transientError is retryable under core.IsTransient.
 type transientError struct {
 	site  string

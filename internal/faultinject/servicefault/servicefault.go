@@ -1,0 +1,118 @@
+// Package servicefault extends the deterministic fault-injection harness to
+// the service granularity: scripted decorators around the serving layer's
+// pool-builder hook (serve.Config.BuildPool) that make whole jobs panic,
+// stall, or fail transiently at exact, reproducible points. It lives in a
+// subpackage because the parent faultinject is imported by the bench
+// package's own tests, while these decorators need bench's types.
+//
+// Like the parent package, this is test infrastructure: nothing in the
+// serving path imports it.
+package servicefault
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+	"github.com/declarative-fs/dfs/internal/faultinject"
+)
+
+// PoolBuilder mirrors the serving layer's pool-execution hook
+// (serve.Config.BuildPool) without importing it, keeping the harness
+// cycle-free.
+type PoolBuilder func(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error)
+
+// ScriptPoolBuilder decorates a pool builder with service-shaped faults,
+// fired at 0-based build-call indices. With a single-worker server and a
+// fixed submission order the call index is deterministic, so the same plan
+// reproduces the same failure sequence bit-for-bit. Each retry attempt is a
+// separate call — a plan can fail a job's first attempt transiently and let
+// its retry through.
+//
+// Fault semantics at this site:
+//
+//   - Panic: panics mid-job, exercising the worker's panic isolation.
+//   - Error / TransientError / Exhaust: the build fails with the scripted
+//     error (TransientError drives the job-level retry policy).
+//   - Delay: a slow worker — sleeps before building, honoring ctx so a
+//     deadline or drain interrupts the sleep (returning ctx.Err()).
+//   - NaNCost: meaningless at job granularity; ignored.
+func ScriptPoolBuilder(inner PoolBuilder, plan map[int]faultinject.Fault) PoolBuilder {
+	var mu sync.Mutex
+	calls := 0
+	return func(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
+		mu.Lock()
+		idx := calls
+		calls++
+		f, ok := plan[idx]
+		mu.Unlock()
+		if ok {
+			switch f.Kind {
+			case faultinject.Delay:
+				t := time.NewTimer(f.Sleep)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			case faultinject.NaNCost:
+				// No meter at this granularity.
+			default:
+				if err := f.Fire("job", idx); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return inner(ctx, cfg, opts)
+	}
+}
+
+// GatedSinkBuilder decorates a pool builder so record appends beyond the
+// first per build call block until release is closed (the build's ctx
+// unblocks them too, keeping canceled builds from deadlocking). Combined
+// with notify on every append it pins "the drain lands mid-run with
+// exactly some records checkpointed" deterministically, without racing a
+// timer against real work. notify(label, n) receives the pool label
+// (the serving layer labels pools with the job ID) and the append count.
+func GatedSinkBuilder(inner PoolBuilder, release <-chan struct{}, notify func(label string, n int)) PoolBuilder {
+	return func(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
+		opts.Sink = &gatedSink{
+			inner: opts.Sink, label: cfg.Label,
+			release: release, notify: notify, ctx: ctx,
+		}
+		return inner(ctx, cfg, opts)
+	}
+}
+
+type gatedSink struct {
+	inner   bench.RecordSink
+	label   string
+	release <-chan struct{}
+	notify  func(label string, n int)
+	ctx     context.Context
+	mu      sync.Mutex
+	n       int
+}
+
+func (s *gatedSink) Append(rec *bench.Record) error {
+	s.mu.Lock()
+	s.n++
+	n := s.n
+	s.mu.Unlock()
+	if n > 1 {
+		select {
+		case <-s.release:
+		case <-s.ctx.Done():
+		}
+	}
+	var err error
+	if s.inner != nil {
+		err = s.inner.Append(rec)
+	}
+	if s.notify != nil {
+		s.notify(s.label, n)
+	}
+	return err
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+	"github.com/declarative-fs/dfs/internal/faultinject/servicefault"
+	"github.com/declarative-fs/dfs/internal/obs"
+)
+
+// TestDaemonResumeBitIdentical is the daemon-path extension of the bench
+// package's TestResumeBitIdentical: two jobs are in flight when a graceful
+// drain lands, both are typed drained with their completed scenarios
+// checkpointed, and a fresh server over the same directory resumes them to
+// results byte-identical to uninterrupted runs.
+//
+// The drain point is pinned deterministically with a gated sink (appends
+// beyond the first block until the drain cancels them) instead of a timer,
+// so the test is stable under -race slowdown.
+func TestDaemonResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	specs := []JobSpec{
+		{Scenarios: 3, Seed: 3, MaxEvals: 12, Datasets: []string{"COMPAS", "Indian Liver Patient", "Brazil Tourism"}},
+		{Scenarios: 3, Seed: 4, MaxEvals: 12, Datasets: []string{"COMPAS", "Indian Liver Patient", "Brazil Tourism"}},
+	}
+
+	// Server A: both jobs run concurrently; each checkpoints its first record
+	// and then wedges in the gated sink until the drain cancels it.
+	release := make(chan struct{})
+	appended := make(chan string, 64)
+	gated := servicefault.GatedSinkBuilder(
+		servicefault.PoolBuilder(bench.BuildPoolResumed),
+		release,
+		func(label string, n int) {
+			select {
+			case appended <- label:
+			default:
+			}
+		},
+	)
+	srvA, err := New(Config{
+		Dir: dir, Workers: 2, PoolWorkers: 2,
+		BuildPool: PoolBuilder(gated), Obs: obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []string
+	for i, spec := range specs {
+		job, reason, err := srvA.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v (%s)", i, err, reason)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	// Wait until every job has checkpointed at least one record, so the drain
+	// provably lands mid-run with partial durable state.
+	seen := map[string]bool{}
+	timeout := time.After(2 * time.Minute)
+	for len(seen) < len(ids) {
+		select {
+		case label := <-appended:
+			seen[label] = true
+		case <-timeout:
+			t.Fatalf("jobs never reached their first checkpointed record (saw %v)", seen)
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srvA.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		job, ok := srvA.Job(id)
+		if !ok {
+			t.Fatalf("job %s lost during drain", id)
+		}
+		if got := job.State(); got != StateDrained {
+			t.Fatalf("job %s after drain: state %s, want %s", id, got, StateDrained)
+		}
+		st := job.Status()
+		if st.RecordsDone < 1 {
+			t.Fatalf("job %s drained with no checkpointed records", id)
+		}
+	}
+	snapA := srvA.rt.Metrics().Snapshot()
+	if got := snapA.Counters["serve.job.drained"]; got != int64(len(ids)) {
+		t.Fatalf("serve.job.drained = %d, want %d", got, len(ids))
+	}
+	checkInvariant(t, srvA)
+
+	// Server B: a restarted daemon over the same directory re-adopts both
+	// jobs and finishes them with the default (ungated) builder.
+	srvB, err := New(Config{Dir: dir, Workers: 2, PoolWorkers: 2, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	ts := httptest.NewServer(srvB.Handler())
+	defer ts.Close()
+
+	for _, id := range ids {
+		st := awaitState(t, ts.URL, id, StateDone)
+		if !st.Resumed {
+			t.Fatalf("job %s completed without the resumed flag", id)
+		}
+		if st.RecordsDone != st.Spec.Scenarios {
+			t.Fatalf("job %s: records_done %d, want %d", id, st.RecordsDone, st.Spec.Scenarios)
+		}
+	}
+	snapB := srvB.rt.Metrics().Snapshot()
+	if got := snapB.Counters["serve.job.resumed"]; got != int64(len(ids)) {
+		t.Fatalf("serve.job.resumed = %d, want %d", got, len(ids))
+	}
+	checkInvariant(t, srvB)
+
+	// Bit-identical: each resumed job's result must serialize to exactly the
+	// bytes of an uninterrupted build of the same spec.
+	for i, id := range ids {
+		job, _ := srvB.Job(id)
+		pool := job.result()
+		if pool == nil {
+			t.Fatalf("job %s done but has no result", id)
+		}
+		var got bytes.Buffer
+		if err := bench.WritePoolCSV(&got, pool); err != nil {
+			t.Fatal(err)
+		}
+
+		ref, err := bench.BuildPoolResumed(context.Background(),
+			specs[i].benchConfig(srvB.cfg, id), bench.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := bench.WritePoolCSV(&want, ref); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("job %s: resumed result differs from uninterrupted run\nresumed:\n%s\nuninterrupted:\n%s",
+				id, got.String(), want.String())
+		}
+
+		// The HTTP result endpoint serves the same bytes.
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpCSV, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("result %s: code %d err %v", id, resp.StatusCode, err)
+		}
+		if !bytes.Equal(httpCSV, want.Bytes()) {
+			t.Fatalf("job %s: HTTP result differs from uninterrupted run", id)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+)
+
+// retryAfterSeconds is the client backoff hint attached to 429/503
+// rejections. Job runtimes are seconds-scale, so a short fixed hint keeps
+// well-behaved clients cheap without coordinating state.
+const retryAfterSeconds = 2
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs             submit a JobSpec          → 202 Status
+//	GET  /jobs             list all jobs             → 200 []Status
+//	GET  /jobs/{id}        one job's lifecycle state → 200 Status
+//	GET  /jobs/{id}/result completed pool as CSV     → 200 text/csv
+//	GET  /metrics          obs metrics registry      → 200 JSON
+//	GET  /progress         live pool progress        → 200 JSON
+//	GET  /healthz          serving/draining state    → 200 JSON
+//	     /debug/pprof/...  live profiling
+//
+// Rejections are JSON with a typed "reason": 400 invalid spec, 429 queue
+// full or tenant budget exhausted (with Retry-After), 503 draining (with
+// Retry-After).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.rt.Metrics().WriteJSON(w)
+	})
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.rt.Progress().WriteJSON(w)
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "dfsd selection service\nPOST /jobs\nGET /jobs\nGET /jobs/{id}\nGET /jobs/{id}/result\n/metrics /progress /healthz /debug/pprof/\n")
+	})
+	return mux
+}
+
+// errorBody is the JSON shape of every rejection.
+type errorBody struct {
+	Error  string       `json:"error"`
+	Reason RejectReason `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error(), Reason: RejectInvalid})
+		return
+	}
+	job, reason, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch reason {
+		case RejectQueueFull, RejectBudget:
+			// Admission control must shed load without blocking the accept
+			// loop: answer immediately and tell the client when to retry.
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+			code = http.StatusTooManyRequests
+		case RejectDraining:
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorBody{Error: err.Error(), Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	pool := job.result()
+	if pool == nil {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf("job %s is %s, not done", job.ID, job.State()),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if err := bench.WritePoolCSV(w, pool); err != nil {
+		// Headers are gone; the best we can do is cut the connection so the
+		// client sees a truncated body instead of a silently short CSV.
+		s.cfg.Logf("serve: result %s: %v", job.ID, err)
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	state := "serving"
+	if s.Draining() {
+		state = "draining"
+	}
+	s.mu.Lock()
+	total := len(s.jobs)
+	queued := s.queued
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"state":     state,
+		"jobs":      total,
+		"queued":    queued,
+		"queue_cap": s.cfg.QueueCap,
+	})
+}

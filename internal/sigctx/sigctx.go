@@ -1,0 +1,63 @@
+// Package sigctx installs the latched two-stage signal handling shared by
+// the long-running binaries (cmd/benchmark, cmd/dfsd): the first
+// SIGINT/SIGTERM cancels a context so the process can drain and flush
+// gracefully, and a second signal force-exits with a distinct nonzero code.
+//
+// The previous signal.NotifyContext wiring latched only the first signal
+// and then kept the signals trapped in a full buffered channel — a second
+// Ctrl-C during a stuck flush was silently swallowed, leaving no way to
+// force-quit short of SIGKILL. The two-stage latch restores that escape
+// hatch while keeping the graceful path as the default.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// ForceExitCode is the exit status of a second-signal force exit: distinct
+// from 0 (clean), 1 (error), 2 (usage), and 130 (graceful interrupt), so
+// scripts can tell "drained and flushed" from "operator gave up waiting".
+const ForceExitCode = 131
+
+// WithSignals returns a child of parent that is canceled on the first of
+// sigs; a second signal calls os.Exit(ForceExitCode) without waiting for
+// any in-flight flush. The returned stop releases the signal registration
+// and cancels the context (deferred by callers like signal.NotifyContext's
+// stop).
+func WithSignals(parent context.Context, sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	var once sync.Once
+	go twoStage(ch, done, cancel, osExit)
+	stop := func() {
+		signal.Stop(ch)
+		once.Do(func() { close(done) })
+		cancel()
+	}
+	return ctx, stop
+}
+
+// osExit is swapped out by tests; the force path must not run test code.
+var osExit = func() { os.Exit(ForceExitCode) }
+
+// twoStage is the latch itself, factored out so the regression test can
+// drive it with a fake channel: signal one cancels, signal two forces,
+// closing done retires the handler at either stage.
+func twoStage(ch <-chan os.Signal, done <-chan struct{}, cancel context.CancelFunc, force func()) {
+	select {
+	case <-ch:
+		cancel()
+	case <-done:
+		return
+	}
+	select {
+	case <-ch:
+		force()
+	case <-done:
+	}
+}

@@ -1,0 +1,86 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestTwoStageLatch is the regression test for the swallowed-second-signal
+// bug: the first signal must cancel (graceful drain), and a second signal
+// during the drain must reach the force path instead of being dropped.
+func TestTwoStageLatch(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	defer close(done)
+	ctx, cancel := context.WithCancel(context.Background())
+	var forced atomic.Bool
+	exited := make(chan struct{})
+	go twoStage(ch, done, cancel, func() { forced.Store(true); close(exited) })
+
+	ch <- syscall.SIGTERM
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	if forced.Load() {
+		t.Fatal("first signal must not force-exit")
+	}
+
+	ch <- syscall.SIGTERM
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal was swallowed instead of forcing exit")
+	}
+}
+
+// TestTwoStageStop pins that retiring the handler (stop) prevents both the
+// cancel and the force path — a clean exit must not race a stale handler.
+func TestTwoStageStop(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	_, cancel := context.WithCancel(context.Background())
+	var forced atomic.Bool
+	ret := make(chan struct{})
+	go func() {
+		twoStage(ch, done, cancel, func() { forced.Store(true) })
+		close(ret)
+	}()
+	close(done)
+	select {
+	case <-ret:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not retire on done")
+	}
+	if forced.Load() {
+		t.Fatal("retired handler must not force-exit")
+	}
+}
+
+// TestWithSignalsStopIdempotent exercises the public wiring: stop can be
+// called repeatedly (deferred and explicit) without panicking, and cancels
+// the context.
+func TestWithSignalsStopIdempotent(t *testing.T) {
+	ctx, stop := WithSignals(context.Background(), syscall.SIGUSR1)
+	stop()
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+// TestForceExitCodeDistinct documents the contract scripts rely on.
+func TestForceExitCodeDistinct(t *testing.T) {
+	for _, taken := range []int{0, 1, 2, 130} {
+		if ForceExitCode == taken {
+			t.Fatalf("ForceExitCode %d collides with reserved status %d", ForceExitCode, taken)
+		}
+	}
+}
