@@ -1,6 +1,8 @@
 GO ?= go
 BENCHTIME ?= 1x
 BENCH_NOTE ?=
+GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
+GIT_MSG := $(shell git log -1 --format=%s 2>/dev/null || echo local)
 
 .PHONY: all vet build test race bench ci dfsd
 
@@ -21,12 +23,16 @@ race:
 # bench runs the top-level Benchmark* functions plus the numeric-kernel
 # micro-benchmarks and appends the parsed results (name, ns/op, allocs/op)
 # to the BENCH_PR5.json trajectory so successive PRs can compare (earlier
-# history lives in BENCH_PR2.json). Override BENCHTIME for steadier numbers,
-# e.g. `make bench BENCHTIME=3x BENCH_NOTE="after kernel rewrite"`.
+# history lives in BENCH_PR2.json), and mirrors the run into the
+# github-action-benchmark dashboard data at dev/bench/data.js. Override
+# BENCHTIME for steadier numbers, e.g. `make bench BENCHTIME=3x
+# BENCH_NOTE="after kernel rewrite"`.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ \
 		. ./internal/linalg ./internal/ranking ./internal/model \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json -note "$(BENCH_NOTE)"
+		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json -note "$(BENCH_NOTE)" \
+			-gha dev/bench/data.js -seed BENCH_PR2.json,BENCH_PR5.json \
+			-commit "$(GIT_SHA)" -commit-message "$(GIT_MSG)"
 
 # dfsd builds the selection-service daemon (see README "Serving").
 dfsd:

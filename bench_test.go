@@ -7,12 +7,14 @@ package dfs
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/constraint"
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/evalstore"
 )
 
 // benchConfig is the scaled-down pool configuration shared by the table
@@ -70,6 +72,53 @@ func BenchmarkScenarioPool(b *testing.B) {
 		if _, err := bench.BuildPool(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScenarioPoolWarmStore measures the same build served from a
+// pre-populated durable evaluation store: every subset evaluation is a disk
+// hit, so the gap to BenchmarkScenarioPool is the training time the store
+// saves across reruns, shards, and restarts.
+func BenchmarkScenarioPoolWarmStore(b *testing.B) {
+	cfg := benchConfig(core.ModeSatisfy, false)
+	cfg.Scenarios = 2
+	dir := b.TempDir()
+	ctx := context.Background()
+
+	// Populate the store with every seed the timed loop will replay.
+	warm := func(seed uint64) {
+		cfg.Seed = seed
+		store, err := evalstore.Open(dir, evalstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.BuildPoolResumed(ctx, cfg, bench.RunOptions{Store: store}); err != nil {
+			store.Close()
+			b.Fatal(err)
+		}
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		warm(uint64(i + 1))
+	}
+
+	store, err := evalstore.Open(dir, evalstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := bench.BuildPoolResumed(ctx, cfg, bench.RunOptions{Store: store}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := store.Stats(); st.Misses > 0 {
+		b.Fatalf("warm benchmark missed the store %d times: %s", st.Misses, st)
 	}
 }
 

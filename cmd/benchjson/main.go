@@ -6,14 +6,29 @@
 // and allocs/op across snapshots (earlier history: BENCH_PR2.json):
 //
 //	go test -bench=. -benchmem -benchtime=1x -run='^$' . | go run ./cmd/benchjson -note "after kernel rewrite"
+//
+// With -gha it additionally appends the run to a github-action-benchmark
+// data file (`window.BENCHMARK_DATA = {...}` in dev/bench/data.js), the
+// format the upstream benchmark-action dashboard renders. A missing data
+// file is seeded from the historical BENCH_*.json trajectories first, so the
+// dashboard starts with the full history:
+//
+//	... | go run ./cmd/benchjson -gha dev/bench/data.js \
+//	        -seed BENCH_PR2.json,BENCH_PR5.json \
+//	        -commit "$(git rev-parse --short HEAD)" -commit-message "$(git log -1 --format=%s)"
+//
+// -seed-only rebuilds the -gha file from the seeds alone without reading
+// stdin (used to regenerate the committed artifact deterministically).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -21,11 +36,11 @@ import (
 
 // BenchResult is one parsed Benchmark* line.
 type BenchResult struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Run is one benchmark invocation's snapshot.
@@ -38,7 +53,27 @@ type Run struct {
 func main() {
 	out := flag.String("out", "BENCH_PR5.json", "trajectory file to append the run to")
 	note := flag.String("note", "", "free-form label for this run")
+	gha := flag.String("gha", "", "github-action-benchmark data.js file to also append the run to (empty = skip)")
+	commit := flag.String("commit", "", "commit id recorded in the -gha entry (default 'local')")
+	commitMsg := flag.String("commit-message", "", "commit message recorded in the -gha entry")
+	repoURL := flag.String("repo-url", "", "repository URL recorded in the -gha file")
+	seed := flag.String("seed", "", "comma-separated BENCH_*.json trajectories that seed a missing -gha file")
+	seedOnly := flag.Bool("seed-only", false, "rebuild the -gha file from -seed alone; stdin and -out are untouched")
 	flag.Parse()
+
+	if *seedOnly {
+		if *gha == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -seed-only needs -gha")
+			os.Exit(2)
+		}
+		n, err := rebuildGHA(*gha, *seed, *repoURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: seeded %s with %d entries\n", *gha, n)
+		return
+	}
 
 	results, err := parse(os.Stdin)
 	if err != nil {
@@ -57,8 +92,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	now := time.Now().UTC()
 	runs = append(runs, Run{
-		Date:       time.Now().UTC().Format(time.RFC3339),
+		Date:       now.Format(time.RFC3339),
 		Note:       *note,
 		Benchmarks: results,
 	})
@@ -73,6 +109,185 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmarks to %s (%d runs total)\n",
 		len(results), *out, len(runs))
+
+	if *gha != "" {
+		c := ghaCommit{ID: *commit, Message: *commitMsg, Timestamp: now.Format(time.RFC3339)}
+		if c.ID == "" {
+			c.ID = "local"
+		}
+		if c.Message == "" {
+			c.Message = *note
+		}
+		n, err := appendGHA(*gha, *seed, *repoURL, ghaEntry{
+			Commit: c, Date: now.UnixMilli(), Tool: "go", Benches: toBenches(results),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: appended run to %s (%d entries total)\n", *gha, n)
+	}
+}
+
+// The github-action-benchmark on-disk shape: a JS assignment wrapping one
+// JSON object, one entry per recorded run under a named series.
+const (
+	ghaPrefix = "window.BENCHMARK_DATA = "
+	ghaSeries = "Go Benchmark"
+)
+
+type ghaBench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+type ghaCommit struct {
+	ID        string `json:"id"`
+	Message   string `json:"message,omitempty"`
+	Timestamp string `json:"timestamp,omitempty"`
+}
+
+type ghaEntry struct {
+	Commit  ghaCommit  `json:"commit"`
+	Date    int64      `json:"date"` // ms since epoch
+	Tool    string     `json:"tool"`
+	Benches []ghaBench `json:"benches"`
+}
+
+type ghaData struct {
+	LastUpdate int64                 `json:"lastUpdate"`
+	RepoURL    string                `json:"repoUrl"`
+	Entries    map[string][]ghaEntry `json:"entries"`
+}
+
+// toBenches flattens parsed results into the dashboard's per-metric series:
+// the base name carries ns/op, with " - B/op" / " - allocs/op" companions
+// (the same naming the upstream action uses for `tool: go`).
+func toBenches(results []BenchResult) []ghaBench {
+	var out []ghaBench
+	for _, r := range results {
+		extra := fmt.Sprintf("%d times", r.Iterations)
+		out = append(out, ghaBench{Name: r.Name, Value: r.NsPerOp, Unit: "ns/op", Extra: extra})
+		if r.BytesPerOp > 0 {
+			out = append(out, ghaBench{Name: r.Name + " - B/op", Value: float64(r.BytesPerOp), Unit: "B/op", Extra: extra})
+		}
+		if r.AllocsPerOp > 0 {
+			out = append(out, ghaBench{Name: r.Name + " - allocs/op", Value: float64(r.AllocsPerOp), Unit: "allocs/op", Extra: extra})
+		}
+	}
+	return out
+}
+
+// loadGHA parses an existing data.js; a missing file returns an empty
+// structure and no error.
+func loadGHA(path string) (ghaData, error) {
+	d := ghaData{Entries: map[string][]ghaEntry{}}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return d, nil
+	}
+	if err != nil {
+		return d, err
+	}
+	trimmed := bytes.TrimPrefix(bytes.TrimSpace(raw), []byte(ghaPrefix))
+	if err := json.Unmarshal(trimmed, &d); err != nil {
+		return d, fmt.Errorf("%s holds invalid BENCHMARK_DATA: %w", path, err)
+	}
+	if d.Entries == nil {
+		d.Entries = map[string][]ghaEntry{}
+	}
+	return d, nil
+}
+
+func writeGHA(path string, d ghaData) error {
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append([]byte(ghaPrefix), append(out, '\n')...), 0o644)
+}
+
+// seedEntries converts historical BENCH_*.json trajectories into dashboard
+// entries, attributed to the snapshot file they came from.
+func seedEntries(seedList string) ([]ghaEntry, error) {
+	var out []ghaEntry
+	for _, f := range strings.Split(seedList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var runs []Run
+		if err := json.Unmarshal(raw, &runs); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		for _, r := range runs {
+			msg := r.Note
+			if msg == "" {
+				msg = r.Date
+			}
+			var ms int64
+			if t, err := time.Parse(time.RFC3339, r.Date); err == nil {
+				ms = t.UnixMilli()
+			}
+			out = append(out, ghaEntry{
+				Commit:  ghaCommit{ID: "seed:" + filepath.Base(f), Message: msg, Timestamp: r.Date},
+				Date:    ms,
+				Tool:    "go",
+				Benches: toBenches(r.Benchmarks),
+			})
+		}
+	}
+	return out, nil
+}
+
+// rebuildGHA regenerates the data file from the seed trajectories alone.
+// LastUpdate is the newest seeded entry's date (not wall time), so the
+// committed artifact is reproducible.
+func rebuildGHA(path, seedList, repoURL string) (int, error) {
+	entries, err := seedEntries(seedList)
+	if err != nil {
+		return 0, err
+	}
+	d := ghaData{RepoURL: repoURL, Entries: map[string][]ghaEntry{ghaSeries: entries}}
+	for _, e := range entries {
+		if e.Date > d.LastUpdate {
+			d.LastUpdate = e.Date
+		}
+	}
+	return len(entries), writeGHA(path, d)
+}
+
+// appendGHA adds one entry, seeding the file from the historical
+// trajectories first if it does not exist yet.
+func appendGHA(path, seedList, repoURL string, e ghaEntry) (int, error) {
+	d, err := loadGHA(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(d.Entries[ghaSeries]) == 0 && seedList != "" {
+		seeds, err := seedEntries(seedList)
+		if err != nil {
+			return 0, err
+		}
+		d.Entries[ghaSeries] = seeds
+	}
+	if repoURL != "" {
+		d.RepoURL = repoURL
+	}
+	d.Entries[ghaSeries] = append(d.Entries[ghaSeries], e)
+	d.LastUpdate = e.Date
+	return len(d.Entries[ghaSeries]), writeGHA(path, d)
 }
 
 // parse scans go-test benchmark output, echoing every line to stdout.

@@ -30,6 +30,7 @@ import (
 
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/evalstore"
 	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/report"
 	"github.com/declarative-fs/dfs/internal/sigctx"
@@ -56,6 +57,7 @@ func main() {
 	merge := flag.Bool("merge", false, "merge shard checkpoint files (positional arguments) into complete pools instead of running scenarios")
 	figuresJSON := flag.String("figures-json", "", "write figure data as machine-readable JSON (non-finite values become null) to this file")
 	kernelWorkers := flag.Int("kernel-workers", 0, "data-parallel goroutines inside numeric kernels per strategy run; 0 composes with the scheduler (GOMAXPROCS/workers). Never changes results")
+	evalStore := flag.String("eval-store", "", "directory of the durable content-addressed evaluation store shared across runs and shards; reruns replay stored trainings bit-identically")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -95,10 +97,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
+	var store *evalstore.Store
+	if *evalStore != "" {
+		store, err = evalstore.Open(*evalStore, evalstore.Options{Metrics: obs.FromContext(ctx).Metrics()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+	}
 	// exit funnels every path through cleanup so flush/close failures (full
 	// disk truncating the trace) surface as a nonzero exit instead of
 	// silently dropping data.
 	exit := func(code int) {
+		if store != nil {
+			// The stats line is machine-parsed by CI's evalstore-smoke job.
+			fmt.Fprintf(os.Stderr, "# eval-store: %s\n", store.Stats())
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchmark: eval-store:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
 		if err := cleanup(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
 			if code == 0 {
@@ -111,6 +131,7 @@ func main() {
 	r := &runner{
 		ctx: ctx, cfg: cfg, outDir: *outDir, grid: *grid, figure1N: *figure1N,
 		seed: *seed, checkpoint: *checkpointPrefix, resume: *resume, shard: shard,
+		store: store,
 	}
 	if *merge {
 		if err := r.mergePools(flag.Args()); err != nil {
@@ -366,7 +387,8 @@ type runner struct {
 	checkpoint string // -checkpoint path prefix ("" disables)
 	resume     bool
 	shard      bench.ShardSpec
-	mergeOnly  bool // pools come from -merge; never rebuild silently
+	store      *evalstore.Store // -eval-store handle shared by every pool ("" disables)
+	mergeOnly  bool             // pools come from -merge; never rebuild silently
 
 	defaultPool *bench.Pool
 	hpoPool     *bench.Pool
@@ -654,7 +676,7 @@ func (r *runner) buildPool(label string, cfg bench.Config) (*bench.Pool, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var opts bench.RunOptions
+	opts := bench.RunOptions{Store: r.store}
 	var cp *bench.CheckpointWriter
 	ckptPath := ""
 	if r.checkpoint != "" {

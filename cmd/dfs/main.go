@@ -25,6 +25,8 @@
 //	max_evaluations  cap on trained subsets           (default 0: unlimited)
 //	kernel_workers   goroutines inside numeric kernels (default 0: GOMAXPROCS;
 //	                 scheduling only — results are identical at any setting)
+//	eval_store       directory of the durable evaluation store; reruns of the
+//	                 same spec replay stored trainings bit-identically
 package main
 
 import (
@@ -57,6 +59,7 @@ type spec struct {
 	MaxEvaluations int     `json:"max_evaluations"`
 	DataSeed       uint64  `json:"data_seed"`
 	KernelWorkers  int     `json:"kernel_workers"`
+	EvalStore      string  `json:"eval_store"`
 }
 
 type output struct {
@@ -193,6 +196,9 @@ func run(specPath, debugAddr, tracePath string) error {
 	}
 	if s.KernelWorkers > 0 {
 		opts = append(opts, dfs.WithKernelWorkers(s.KernelWorkers))
+	}
+	if s.EvalStore != "" {
+		opts = append(opts, dfs.WithEvalStore(s.EvalStore))
 	}
 
 	kind, err := parseModel(s.Model)

@@ -50,6 +50,10 @@ func main() {
 	retryBase := flag.Duration("retry-base", 250*time.Millisecond, "base backoff before the first transient retry")
 	retryCap := flag.Duration("retry-cap", 5*time.Second, "backoff cap for transient retries")
 	retrySeed := flag.Uint64("retry-seed", 1, "seed of the deterministic retry jitter")
+	evalStore := flag.String("eval-store", "", "directory of the durable evaluation store shared across jobs and restarts (empty = disabled)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict terminal (done/failed) jobs older than this (0 = keep forever)")
+	maxTerminalJobs := flag.Int("max-terminal-jobs", 0, "keep at most this many terminal jobs, evicting the oldest (0 = unlimited)")
+	gcInterval := flag.Duration("gc-interval", time.Minute, "period of the terminal-job eviction sweep")
 	flag.Parse()
 
 	budgets, err := parseBudgets(*tenantBudgets)
@@ -68,6 +72,10 @@ func main() {
 		DefaultDeadline:     *deadline,
 		TenantBudgets:       budgets,
 		DefaultTenantBudget: *defaultBudget,
+		EvalStore:           *evalStore,
+		JobTTL:              *jobTTL,
+		MaxTerminalJobs:     *maxTerminalJobs,
+		GCInterval:          *gcInterval,
 		Retry: core.RetryPolicy{
 			MaxAttempts: *retries,
 			BaseBackoff: *retryBase,

@@ -1,0 +1,1366 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1785971450000,
+  "repoUrl": "",
+  "entries": {
+    "Go Benchmark": [
+      {
+        "commit": {
+          "id": "seed:BENCH_PR2.json",
+          "message": "pre-PR baseline (private caches, sequential strategies per scenario)",
+          "timestamp": "2026-08-05T21:02:15Z"
+        },
+        "date": 1785963735000,
+        "tool": "go",
+        "benches": [
+          {
+            "name": "BenchmarkScenarioPool",
+            "value": 819733028,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - B/op",
+            "value": 35363528,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - allocs/op",
+            "value": 367807,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3",
+            "value": 7040912,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - B/op",
+            "value": 5230224,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - allocs/op",
+            "value": 64598,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4",
+            "value": 90517,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - B/op",
+            "value": 5816,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - allocs/op",
+            "value": 191,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5",
+            "value": 105798,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6",
+            "value": 79116,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7",
+            "value": 12655598,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - B/op",
+            "value": 2255760,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - allocs/op",
+            "value": 13345,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8",
+            "value": 219282,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - B/op",
+            "value": 17200,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - allocs/op",
+            "value": 538,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9",
+            "value": 6407010,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - B/op",
+            "value": 5232256,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - allocs/op",
+            "value": 64644,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1",
+            "value": 21100626,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - B/op",
+            "value": 2646520,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - allocs/op",
+            "value": 13601,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4",
+            "value": 6186322,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - B/op",
+            "value": 5231496,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - allocs/op",
+            "value": 64571,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5",
+            "value": 9694801216,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - B/op",
+            "value": 623114688,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - allocs/op",
+            "value": 2836678,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning",
+            "value": 137602177,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - B/op",
+            "value": 3285368,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - allocs/op",
+            "value": 5607,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating",
+            "value": 1565803136,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - B/op",
+            "value": 59918528,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - allocs/op",
+            "value": 1169441,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE",
+            "value": 147253334,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - B/op",
+            "value": 6450608,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - allocs/op",
+            "value": 31949,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect",
+            "value": 6146989,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - B/op",
+            "value": 179584,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - allocs/op",
+            "value": 189,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "seed:BENCH_PR2.json",
+          "message": "after shared memoization + two-level scheduling + hot-path cuts (1-core container: gain is memoization, parallelism idle)",
+          "timestamp": "2026-08-05T21:03:31Z"
+        },
+        "date": 1785963811000,
+        "tool": "go",
+        "benches": [
+          {
+            "name": "BenchmarkScenarioPool",
+            "value": 427783042,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - B/op",
+            "value": 24267248,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - allocs/op",
+            "value": 216677,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3",
+            "value": 6313763,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - B/op",
+            "value": 5125192,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - allocs/op",
+            "value": 63065,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4",
+            "value": 81827,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - B/op",
+            "value": 5848,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - allocs/op",
+            "value": 193,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5",
+            "value": 95554,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6",
+            "value": 73272,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7",
+            "value": 12205523,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - B/op",
+            "value": 2228624,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - allocs/op",
+            "value": 13935,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8",
+            "value": 184272,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - B/op",
+            "value": 17200,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - allocs/op",
+            "value": 538,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9",
+            "value": 5884067,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - B/op",
+            "value": 5107144,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - allocs/op",
+            "value": 62667,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1",
+            "value": 20405779,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - B/op",
+            "value": 2646520,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - allocs/op",
+            "value": 13601,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4",
+            "value": 5523557,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - B/op",
+            "value": 5106432,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - allocs/op",
+            "value": 62597,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5",
+            "value": 9327212559,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - B/op",
+            "value": 625150080,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - allocs/op",
+            "value": 2891504,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning",
+            "value": 134276018,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - B/op",
+            "value": 3190904,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - allocs/op",
+            "value": 5716,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating",
+            "value": 1332311084,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - B/op",
+            "value": 35248640,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - allocs/op",
+            "value": 155609,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE",
+            "value": 141302043,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - B/op",
+            "value": 6407040,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - allocs/op",
+            "value": 32049,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect",
+            "value": 6035160,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - B/op",
+            "value": 173632,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - allocs/op",
+            "value": 199,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "seed:BENCH_PR5.json",
+          "message": "baseline (seed, PR4 kernels, 1-core CI box)",
+          "timestamp": "2026-08-05T22:45:03Z"
+        },
+        "date": 1785969903000,
+        "tool": "go",
+        "benches": [
+          {
+            "name": "BenchmarkScenarioPool",
+            "value": 714712524,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - B/op",
+            "value": 24269376,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - allocs/op",
+            "value": 216691,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3",
+            "value": 9252784,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - B/op",
+            "value": 5129080,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - allocs/op",
+            "value": 63205,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4",
+            "value": 164460,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - B/op",
+            "value": 8168,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - allocs/op",
+            "value": 328,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5",
+            "value": 183361,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6",
+            "value": 224965,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7",
+            "value": 20696669,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - B/op",
+            "value": 2229040,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - allocs/op",
+            "value": 13959,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8",
+            "value": 332563,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - B/op",
+            "value": 18720,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - allocs/op",
+            "value": 662,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9",
+            "value": 9101937,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - B/op",
+            "value": 5108968,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - allocs/op",
+            "value": 62751,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1",
+            "value": 31428734,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - B/op",
+            "value": 2646520,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - allocs/op",
+            "value": 13601,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4",
+            "value": 8329606,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - B/op",
+            "value": 5106432,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - allocs/op",
+            "value": 62597,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5",
+            "value": 11417112165,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - B/op",
+            "value": 625161632,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - allocs/op",
+            "value": 2891990,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning",
+            "value": 152401366,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - B/op",
+            "value": 3190968,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - allocs/op",
+            "value": 5718,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating",
+            "value": 1462584293,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - B/op",
+            "value": 35249072,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - allocs/op",
+            "value": 155629,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE",
+            "value": 162775351,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - B/op",
+            "value": 6407088,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - allocs/op",
+            "value": 32051,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect",
+            "value": 7894068,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - B/op",
+            "value": 173632,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - allocs/op",
+            "value": 199,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "seed:BENCH_PR5.json",
+          "message": "after: parallel kernels, fused logreg pass, heap k-NN, reusable scratch",
+          "timestamp": "2026-08-05T23:10:50Z"
+        },
+        "date": 1785971450000,
+        "tool": "go",
+        "benches": [
+          {
+            "name": "BenchmarkScenarioPool",
+            "value": 442851729,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - B/op",
+            "value": 21684688,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - allocs/op",
+            "value": 214026,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3",
+            "value": 6606673,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - B/op",
+            "value": 5129080,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable3 - allocs/op",
+            "value": 63205,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4",
+            "value": 84881,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - B/op",
+            "value": 8168,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable4 - allocs/op",
+            "value": 328,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5",
+            "value": 126417,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable5 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6",
+            "value": 79710,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable6 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7",
+            "value": 13751530,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - B/op",
+            "value": 2232176,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable7 - allocs/op",
+            "value": 13995,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8",
+            "value": 225256,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - B/op",
+            "value": 18720,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable8 - allocs/op",
+            "value": 662,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9",
+            "value": 6361610,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - B/op",
+            "value": 5108952,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTable9 - allocs/op",
+            "value": 62751,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1",
+            "value": 22286107,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - B/op",
+            "value": 2650592,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - allocs/op",
+            "value": 13621,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4",
+            "value": 6132860,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - B/op",
+            "value": 5106432,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - allocs/op",
+            "value": 62597,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5",
+            "value": 9605964358,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - B/op",
+            "value": 606337832,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - allocs/op",
+            "value": 2875003,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning",
+            "value": 154527219,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - B/op",
+            "value": 3239064,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - allocs/op",
+            "value": 6106,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating",
+            "value": 1486213660,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - B/op",
+            "value": 35772272,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - allocs/op",
+            "value": 158687,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE",
+            "value": 154195628,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - B/op",
+            "value": 6463072,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - allocs/op",
+            "value": 32355,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect",
+            "value": 7078564,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - B/op",
+            "value": 175552,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkSelect - allocs/op",
+            "value": 227,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkEigenSym32",
+            "value": 762666,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkEigenSym32 - B/op",
+            "value": 25544,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkEigenSym32 - allocs/op",
+            "value": 11,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKNN/heap",
+            "value": 60269,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKNN/heap - B/op",
+            "value": 288,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKNN/heap - allocs/op",
+            "value": 3,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKNN/reference",
+            "value": 263145,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKNN/reference - B/op",
+            "value": 16568,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKNN/reference - allocs/op",
+            "value": 5,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKMeans",
+            "value": 2100019,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKMeans - B/op",
+            "value": 80688,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkKMeans - allocs/op",
+            "value": 80,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/heap",
+            "value": 6100080,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/heap - B/op",
+            "value": 32560,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/heap - allocs/op",
+            "value": 41,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/reference",
+            "value": 7223996,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/reference - B/op",
+            "value": 1125360,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/reference - allocs/op",
+            "value": 623,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkMCFSRank",
+            "value": 277407172,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkMCFSRank - B/op",
+            "value": 1728296,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkMCFSRank - allocs/op",
+            "value": 61,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkChi2",
+            "value": 28464,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkChi2 - B/op",
+            "value": 20192,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkChi2 - allocs/op",
+            "value": 7,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefF",
+            "value": 710921,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefF - B/op",
+            "value": 20656,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkReliefF - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkMCFS",
+            "value": 195535255,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkMCFS - B/op",
+            "value": 1692872,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkMCFS - allocs/op",
+            "value": 58,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/fused",
+            "value": 10713855,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/fused - B/op",
+            "value": 3136,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/fused - allocs/op",
+            "value": 5,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/reference",
+            "value": 7738397,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/reference - B/op",
+            "value": 320,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/reference - allocs/op",
+            "value": 2,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTreeFit",
+            "value": 425120,
+            "unit": "ns/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTreeFit - B/op",
+            "value": 65472,
+            "unit": "B/op",
+            "extra": "1 times"
+          },
+          {
+            "name": "BenchmarkTreeFit - allocs/op",
+            "value": 177,
+            "unit": "allocs/op",
+            "extra": "1 times"
+          }
+        ]
+      }
+    ]
+  }
+}

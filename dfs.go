@@ -42,6 +42,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/constraint"
 	"github.com/declarative-fs/dfs/internal/core"
 	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/evalstore"
 	"github.com/declarative-fs/dfs/internal/metrics"
 	"github.com/declarative-fs/dfs/internal/model"
 	"github.com/declarative-fs/dfs/internal/obs"
@@ -210,6 +211,7 @@ type options struct {
 	custom        []core.CustomConstraint
 	noShare       bool
 	kernelWorkers int
+	evalStore     string
 }
 
 // Option customizes Select and RunPortfolio.
@@ -257,6 +259,19 @@ func WithoutEvaluationSharing() Option { return func(o *options) { o.noShare = t
 // this when embedding DFS in a process that runs several searches at once
 // and the combined goroutine count should stay bounded.
 func WithKernelWorkers(n int) Option { return func(o *options) { o.kernelWorkers = n } }
+
+// WithEvalStore shares trained-subset evaluations durably across process
+// lifetimes: every physical training is appended to a crash-safe,
+// content-addressed store under dir, and any later run — same process or not
+// — that evaluates the same subset under the same dataset, model,
+// constraints, and seed replays the stored scores bit-identically instead of
+// retraining. Multiple processes may point at the same directory
+// concurrently; each appends to its own locked segment. The store is an
+// optimization only: selections are byte-identical with or without it, and
+// runtime write failures degrade to plain retraining (a dir that cannot be
+// opened, however, fails the call — the caller asked for durability it can't
+// have). Ignored under WithoutEvaluationSharing.
+func WithEvalStore(dir string) Option { return func(o *options) { o.evalStore = dir } }
 
 // CustomMetric scores one evaluated feature subset from the model's
 // predictions; it must return a value in [0, 1] and be deterministic. The
@@ -335,12 +350,24 @@ func SelectContext(ctx context.Context, d *Dataset, kind ModelKind, cs Constrain
 		end(nil, err)
 		return nil, err
 	}
+	var memo *core.SharedMemo
+	if o.evalStore != "" && !o.noShare {
+		memo = core.NewSharedMemo()
+	}
+	closeStore, err := attachStore(ctx, o, scn, memo)
+	if err != nil {
+		end(nil, err)
+		return nil, err
+	}
 	var res core.RunResult
 	if o.wallClock > 0 {
-		res, err = core.RunStrategyWithMeterContext(ctx, s, scn, budget.NewWall(o.wallClock), o.seed, o.maxEvals)
+		res, err = core.RunStrategyWithMeterSharedContext(ctx, s, scn, budget.NewWall(o.wallClock), memo, o.seed, o.maxEvals)
 	} else {
-		res, err = core.RunStrategyContext(ctx, s, scn, o.seed, o.maxEvals)
+		res, err = core.RunStrategySharedContext(ctx, s, scn, memo, o.seed, o.maxEvals)
 	}
+	// The store is a cache: a failed flush at close only costs future warmth,
+	// never this run's result.
+	_ = closeStore()
 	if err != nil {
 		end(nil, err)
 		return nil, err
@@ -348,6 +375,22 @@ func SelectContext(ctx context.Context, d *Dataset, kind ModelKind, cs Constrain
 	sel := toSelection(d, res)
 	end(sel, nil)
 	return sel, nil
+}
+
+// attachStore opens the durable evaluation store declared by WithEvalStore
+// and attaches it to memo under scn's content hash. The returned closer
+// flushes and releases the store; both it and the open are no-ops when no
+// store is configured or memo is nil (WithoutEvaluationSharing).
+func attachStore(ctx context.Context, o options, scn *core.Scenario, memo *core.SharedMemo) (func() error, error) {
+	if o.evalStore == "" || memo == nil {
+		return func() error { return nil }, nil
+	}
+	st, err := evalstore.Open(o.evalStore, evalstore.Options{Metrics: obs.FromContext(ctx).Metrics()})
+	if err != nil {
+		return nil, err
+	}
+	memo.AttachDurable(st, scn.ContentHash())
+	return st.Close, nil
 }
 
 // apiSpan opens a span for one public API call and returns the span-carrying
@@ -415,6 +458,12 @@ func RunPortfolioContext(ctx context.Context, d *Dataset, kind ModelKind, cs Con
 	if !o.noShare {
 		memo = core.NewSharedMemo()
 	}
+	closeStore, err := attachStore(ctx, o, scn, memo)
+	if err != nil {
+		end(nil, err)
+		return nil, err
+	}
+	defer func() { _ = closeStore() }()
 
 	type outcome struct {
 		sel *Selection

@@ -15,6 +15,7 @@ import (
 	"github.com/declarative-fs/dfs/internal/constraint"
 	"github.com/declarative-fs/dfs/internal/core"
 	"github.com/declarative-fs/dfs/internal/dataset"
+	"github.com/declarative-fs/dfs/internal/evalstore"
 	"github.com/declarative-fs/dfs/internal/model"
 	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/optimizer"
@@ -63,6 +64,15 @@ type Config struct {
 	// Label names the pool in traces and progress reports (e.g. "HPO");
 	// empty means "pool". It never affects the run itself.
 	Label string
+	// EvalStore, when non-empty, is the directory of the durable
+	// content-addressed evaluation store (internal/evalstore): every
+	// scenario's trained-subset memo gains a disk tier shared across runs,
+	// shards, and restarts. Durable hits replay the full simulated cost, so
+	// records stay bit-identical to cold runs; like Workers, this is a
+	// scheduling/caching knob and is excluded from checkpoint identity.
+	// Ignored when NoEvalSharing is set (the store rides on the memo).
+	// RunOptions.Store takes precedence when both are set.
+	EvalStore string
 }
 
 // ShardSpec deterministically partitions the scenario IDs of a pool across
@@ -132,6 +142,11 @@ type RunOptions struct {
 	// CheckpointWriter.Err) and counted/traced, and the pool completes in
 	// memory regardless.
 	Sink RecordSink
+	// Store is an already-open durable evaluation store shared with the
+	// caller (cmd/benchmark, internal/serve open one store for many pools).
+	// When nil and cfg.EvalStore is set, BuildPoolResumed opens and closes
+	// its own store; when non-nil the caller owns the lifecycle.
+	Store *evalstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -359,6 +374,15 @@ func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, 
 		return nil, err
 	}
 	po, ctx := newPoolObs(ctx, cfg)
+	store := opts.Store
+	if store == nil && cfg.EvalStore != "" {
+		s, err := evalstore.Open(cfg.EvalStore, evalstore.Options{Metrics: obs.FromContext(ctx).Metrics()})
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		store = s
+	}
 	cache := &datasetCache{data: make(map[string]*dataset.Dataset), seed: cfg.Seed}
 	records := make([]Record, cfg.Scenarios)
 	done := make([]bool, cfg.Scenarios)
@@ -409,7 +433,7 @@ func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, 
 				}
 				<-scenarios
 			}()
-			rec, err := runScenario(ctx, cfg, cache, i, slots, po)
+			rec, err := runScenario(ctx, cfg, cache, i, slots, po, store)
 			if err != nil {
 				// Only cancellation aborts a scenario without a record;
 				// everything else is recorded inside rec.
@@ -447,7 +471,7 @@ func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, 
 // concurrently on the pool-wide execution slots. The returned error is
 // non-nil only for cancellation; operational failures are recorded in the
 // Record so the pool degrades instead of dying.
-func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, slots chan struct{}, po *poolObs) (rec Record, err error) {
+func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, slots chan struct{}, po *poolObs, store *evalstore.Store) (rec Record, err error) {
 	rng := xrand.NewStream(cfg.Seed, uint64(i)*2+1)
 	name := cfg.Datasets[rng.Intn(len(cfg.Datasets))]
 	kind := model.Kinds[rng.Intn(len(model.Kinds))]
@@ -481,6 +505,13 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 	var memo *core.SharedMemo
 	if !cfg.NoEvalSharing {
 		memo = core.NewSharedMemo()
+		if store != nil {
+			// The durable tier completes the memo key's content address with
+			// the scenario hash, so only a scenario with identical split
+			// bytes, constraints, and seed (a rerun, a resumed shard, a
+			// restarted daemon job) ever shares entries.
+			memo.AttachDurable(store, scn.ContentHash())
+		}
 	}
 	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
 	results := make([]core.RunResult, len(names))

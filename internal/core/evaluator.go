@@ -141,6 +141,33 @@ func (ev *Evaluator) SetMeter(m budget.Meter) { ev.meter = m }
 // SharedMemo.
 func (ev *Evaluator) UseShared(m *SharedMemo) { ev.shared = m }
 
+// sharedRanking consults the durable tier (when attached) for the ranking of
+// the given subset and family under this evaluator's seed. A nil mask means
+// the full-split ranking of the topK strategies.
+func (ev *Evaluator) sharedRanking(mask []bool, family string) ([]float64, bool, bool) {
+	if ev.shared == nil {
+		return nil, false, false
+	}
+	var key string
+	if mask != nil {
+		key = string(ev.maskKeyBytes(mask))
+	}
+	return ev.shared.LookupRanking(key, family, ev.seed)
+}
+
+// storeRanking publishes a freshly computed ranking to the durable tier so
+// later runs, shards, and restarts skip the computation.
+func (ev *Evaluator) storeRanking(mask []bool, family string, scores []float64, usedPermutation bool) {
+	if ev.shared == nil {
+		return
+	}
+	var key string
+	if mask != nil {
+		key = string(ev.maskKeyBytes(mask))
+	}
+	ev.shared.PutRanking(key, family, ev.seed, scores, usedPermutation)
+}
+
 // SetPruning toggles the evaluation-independent feature-cap pruning
 // (enabled by default); the pruning ablation disables it so cap-violating
 // subsets are trained and charged like any other.
@@ -303,6 +330,7 @@ func (ev *Evaluator) evaluate(mask []bool) (float64, []float64, bool, error) {
 	}
 
 	mk := ev.memoKeyFor(key)
+	durable := ev.shared.durable()
 	for {
 		if ev.obsv != nil {
 			// Every acquire is one lookup, so after a wake-up the re-acquire
@@ -310,16 +338,33 @@ func (ev *Evaluator) evaluate(mask []bool) (float64, []float64, bool, error) {
 			// holds exactly, and hits + misses == decided lookups.
 			ev.obsv.memoLookups.Inc()
 		}
-		phys, hit, owned, ready := ev.shared.acquire(mk)
-		switch {
-		case hit:
-			if ev.obsv != nil {
-				ev.obsv.memoHits.Inc()
+		phys, src, owned, ready := ev.shared.acquire(mk)
+		switch src {
+		case acqMem, acqDisk:
+			if o := ev.obsv; o != nil {
+				// A durable hit counts as a memo hit too, so the PR 3
+				// invariants (lookups == hits+misses+waits, replayed == hits)
+				// keep holding; the evalstore.* family splits by tier and is
+				// counted only on decided acquires, so
+				// evalstore.lookups == hits_mem + hits_disk + misses exactly.
+				o.memoHits.Inc()
+				if durable {
+					o.esLookups.Inc()
+					if src == acqDisk {
+						o.esHitsDisk.Inc()
+					} else {
+						o.esHitsMem.Inc()
+					}
+				}
 			}
 			return ev.replayEvaluate(mask, key, count, phys)
-		case owned != nil:
-			if ev.obsv != nil {
-				ev.obsv.memoMisses.Inc()
+		case acqOwner:
+			if o := ev.obsv; o != nil {
+				o.memoMisses.Inc()
+				if durable {
+					o.esLookups.Inc()
+					o.esMisses.Inc()
+				}
 			}
 			return ev.computeEvaluate(mask, key, &mk, owned)
 		default:

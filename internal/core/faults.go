@@ -139,6 +139,13 @@ func RunStrategyWithMeterContext(ctx context.Context, s Strategy, scn *Scenario,
 	return runStrategyWithMeterMemoContext(ctx, s, scn, meter, seed, maxEvals, nil)
 }
 
+// RunStrategyWithMeterSharedContext is RunStrategyWithMeterContext against a
+// shared trained-subset memo (nil means a fully private cache) — the entry
+// point for wall-clock runs that still want memo or durable-store reuse.
+func RunStrategyWithMeterSharedContext(ctx context.Context, s Strategy, scn *Scenario, meter budget.Meter, memo *SharedMemo, seed uint64, maxEvals int) (RunResult, error) {
+	return runStrategyWithMeterMemoContext(ctx, s, scn, meter, seed, maxEvals, memo)
+}
+
 func runStrategyWithMeterMemoContext(ctx context.Context, s Strategy, scn *Scenario, meter budget.Meter, seed uint64, maxEvals int, memo *SharedMemo) (RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/declarative-fs/dfs/internal/constraint"
+	"github.com/declarative-fs/dfs/internal/evalstore"
 	"github.com/declarative-fs/dfs/internal/model"
 )
 
@@ -43,6 +44,32 @@ type memoEntry struct {
 	phys  physical
 }
 
+// closedReady is the pre-closed channel of entries installed already
+// committed (durable-tier hits): nobody ever waits on them.
+var closedReady = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// DurableStore is the disk tier beneath the memo — implemented by
+// *evalstore.Store. Lookup and Put must be safe for concurrent use;
+// Put may be asynchronous (write-behind).
+type DurableStore interface {
+	Lookup(evalstore.Key) (evalstore.Result, bool)
+	Put(evalstore.Key, evalstore.Result)
+}
+
+// acquireSrc tells the evaluator which tier decided an acquire.
+type acquireSrc int
+
+const (
+	acqOwner acquireSrc = iota // vacant: the caller owns the slot and trains
+	acqMem                     // committed in-memory entry
+	acqDisk                    // served by the durable tier
+	acqWait                    // another strategy is training; wait and retry
+)
+
 // SharedMemo is the cross-strategy trained-subset memoization layer: all
 // strategies of one scenario (benchmark pool record, portfolio run) share
 // the physical result of trainAndScore so a subset any member already
@@ -56,14 +83,30 @@ type memoEntry struct {
 // owner and trains while the other waits for the committed result instead
 // of training a duplicate.
 //
+// With AttachDurable the memo gains a second, cross-process tier: a miss
+// probes the durable store before training, a hit there installs the entry
+// as committed (so sibling strategies get memory hits), and every commit or
+// test attachment writes through. Durable hits replay exactly like memory
+// hits, so records stay bit-identical to cold runs.
+//
 // A SharedMemo must only be shared between evaluators of the same scenario
 // and seed; the key guards the model grid, privacy ε, and seed, but not the
-// dataset split or custom-constraint set.
+// dataset split or custom-constraint set — the scenario content hash passed
+// to AttachDurable covers those for the durable tier.
 type SharedMemo struct {
-	mu      sync.Mutex
-	entries map[memoKey]*memoEntry
-	hits    int
-	trained int
+	mu       sync.Mutex
+	entries  map[memoKey]*memoEntry
+	hits     int // acquires served by the in-memory tier
+	hitsDisk int // acquires served by the durable tier
+	testHits int // lookupTest hits (post-hoc test reuse)
+	waits    int // acquires that blocked on an in-flight owner
+	inFlight int // currently owned, uncommitted slots
+	trained  int
+
+	// store and scnHash are set once by AttachDurable before the memo is
+	// shared between goroutines, then only read.
+	store   DurableStore
+	scnHash uint64
 }
 
 // NewSharedMemo returns an empty memoization layer.
@@ -71,45 +114,158 @@ func NewSharedMemo() *SharedMemo {
 	return &SharedMemo{entries: make(map[memoKey]*memoEntry)}
 }
 
-// Stats reports the number of committed subsets and the number of times an
-// evaluator was served a subset another strategy trained.
-func (m *SharedMemo) Stats() (trained, hits int) {
+// AttachDurable adds the disk tier. scenarioHash must be the scenario's
+// ContentHash — it completes the content address the in-memory key omits
+// (dataset split bytes, constraint set, custom-constraint declarations).
+// Call before sharing the memo between goroutines.
+func (m *SharedMemo) AttachDurable(store DurableStore, scenarioHash uint64) {
+	if m == nil || store == nil {
+		return
+	}
+	m.store = store
+	m.scnHash = scenarioHash
+}
+
+// durable reports whether a disk tier is attached.
+func (m *SharedMemo) durable() bool { return m != nil && m.store != nil }
+
+func (m *SharedMemo) storeKey(k memoKey) evalstore.Key {
+	return evalstore.Key{
+		Scenario: m.scnHash,
+		Mask:     k.mask,
+		Kind:     string(k.kind),
+		HPO:      k.hpo,
+		Eps:      k.eps,
+		Seed:     k.seed,
+	}
+}
+
+// rankingStoreKey namespaces feature rankings inside the same store. The
+// "rank:" kind prefix can never collide with a model kind; the mask is the
+// bit-packed subset the ranking covers (empty for a full-split ranking).
+func (m *SharedMemo) rankingStoreKey(mask, family string, seed uint64) evalstore.Key {
+	return evalstore.Key{Scenario: m.scnHash, Mask: mask, Kind: "rank:" + family, Seed: seed}
+}
+
+// LookupRanking returns the durably stored ranking of the given subset for
+// (family, seed), if any process has computed it before, plus whether that
+// computation fell back to permutation importance (the caller must replay
+// the fallback's budget charge). Rankings are deterministic given the
+// scenario content, the mask, and the run seed, so replaying one is
+// bit-identical to recomputing it — minus the linear algebra.
+func (m *SharedMemo) LookupRanking(mask, family string, seed uint64) (scores []float64, usedPermutation, ok bool) {
+	if !m.durable() {
+		return nil, false, false
+	}
+	res, ok := m.store.Lookup(m.rankingStoreKey(mask, family, seed))
+	if !ok || len(res.ValCustom) == 0 {
+		return nil, false, false
+	}
+	// A ranking record repurposes HasTest as the permutation-fallback flag;
+	// the "rank:" kind namespace keeps it from ever meaning test scores.
+	return res.ValCustom, res.HasTest, true
+}
+
+// PutRanking durably stores a computed ranking.
+func (m *SharedMemo) PutRanking(mask, family string, seed uint64, scores []float64, usedPermutation bool) {
+	if m.durable() && len(scores) > 0 {
+		m.store.Put(m.rankingStoreKey(mask, family, seed),
+			evalstore.Result{ValCustom: scores, HasTest: usedPermutation})
+	}
+}
+
+func physicalFromResult(r evalstore.Result) physical {
+	return physical{
+		val: r.Val, valCustom: r.ValCustom,
+		test: r.Test, testCustom: r.TestCustom, hasTest: r.HasTest,
+	}
+}
+
+func resultFromPhysical(p physical) evalstore.Result {
+	return evalstore.Result{
+		Val: p.val, ValCustom: p.valCustom,
+		Test: p.test, TestCustom: p.testCustom, HasTest: p.hasTest,
+	}
+}
+
+// MemoStats breaks down a memo's activity by tier, mirroring the
+// evalstore.* obs counters so the accounting invariant
+// (lookups == hits_mem + hits_disk + misses) can be cross-checked in one
+// place: decided acquires == HitsMem + HitsDisk + Trained(+abandoned).
+type MemoStats struct {
+	Trained  int // physical trainings committed
+	HitsMem  int // acquires served by the in-memory tier
+	HitsDisk int // acquires served by the durable tier
+	TestHits int // post-hoc test lookups served (EvaluateOnTest reuse)
+	Waits    int // acquires that blocked on another strategy's training
+	InFlight int // currently owned, uncommitted slots
+}
+
+// Hits returns the total evaluations served without training.
+func (s MemoStats) Hits() int { return s.HitsMem + s.HitsDisk }
+
+// Stats reports the memo's per-tier activity.
+func (m *SharedMemo) Stats() MemoStats {
 	if m == nil {
-		return 0, 0
+		return MemoStats{}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.trained, m.hits
+	return MemoStats{
+		Trained:  m.trained,
+		HitsMem:  m.hits,
+		HitsDisk: m.hitsDisk,
+		TestHits: m.testHits,
+		Waits:    m.waits,
+		InFlight: m.inFlight,
+	}
 }
 
-// acquire claims the key. It returns (phys, true, nil) when a committed
-// result is available — a hit; (zero, false, entry) when the caller became
-// the owner and must compute then commit or abandon; and (zero, false, nil)
-// when another evaluator owns the in-flight slot — the caller should wait on
-// the returned channel via wait and retry.
-func (m *SharedMemo) acquire(k memoKey) (physical, bool, *memoEntry, <-chan struct{}) {
+// acquire claims the key. acqMem/acqDisk return the committed physical
+// result — a hit; acqOwner means the caller owns the entry and must compute
+// then commit or abandon; acqWait means another evaluator owns the in-flight
+// slot — the caller should wait on the returned channel and retry. A durable
+// hit is installed as a committed in-memory entry, so siblings hit memory.
+func (m *SharedMemo) acquire(k memoKey) (physical, acquireSrc, *memoEntry, <-chan struct{}) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if e, ok := m.entries[k]; ok {
 		if e.ok {
 			m.hits++
-			return e.phys, true, nil, nil
+			return e.phys, acqMem, nil, nil
 		}
-		return physical{}, false, nil, e.ready
+		m.waits++
+		return physical{}, acqWait, nil, e.ready
+	}
+	if m.store != nil {
+		if r, ok := m.store.Lookup(m.storeKey(k)); ok {
+			e := &memoEntry{ready: closedReady, ok: true, phys: physicalFromResult(r)}
+			m.entries[k] = e
+			m.hitsDisk++
+			return e.phys, acqDisk, nil, nil
+		}
 	}
 	e := &memoEntry{ready: make(chan struct{})}
 	m.entries[k] = e
-	return physical{}, false, e, nil
+	m.inFlight++
+	return physical{}, acqOwner, e, nil
 }
 
-// commit publishes the owner's result and wakes the waiters.
+// commit publishes the owner's result, wakes the waiters, and writes
+// through to the durable tier (outside the memo lock — the store's Put is
+// write-behind and never blocks on disk, but lock coupling stays zero).
 func (m *SharedMemo) commit(k memoKey, e *memoEntry, p physical) {
 	m.mu.Lock()
 	e.phys = p
 	e.ok = true
 	m.trained++
+	m.inFlight--
+	store := m.store
 	m.mu.Unlock()
 	close(e.ready)
+	if store != nil {
+		store.Put(m.storeKey(k), resultFromPhysical(p))
+	}
 }
 
 // abandon releases an owned slot without a result (training failed: budget
@@ -119,16 +275,19 @@ func (m *SharedMemo) commit(k memoKey, e *memoEntry, p physical) {
 func (m *SharedMemo) abandon(k memoKey, e *memoEntry) {
 	m.mu.Lock()
 	delete(m.entries, k)
+	m.inFlight--
 	m.mu.Unlock()
 	close(e.ready)
 }
 
 // lookupTest returns the committed test-side scores for the key, if any.
+// Durable-tier entries carry their test scores from installation, so no
+// separate disk probe is needed here.
 func (m *SharedMemo) lookupTest(k memoKey) (constraint.Scores, []float64, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if e, ok := m.entries[k]; ok && e.ok && e.phys.hasTest {
-		m.hits++
+		m.testHits++
 		return e.phys.test, e.phys.testCustom, true
 	}
 	return constraint.Scores{}, nil, false
@@ -136,18 +295,26 @@ func (m *SharedMemo) lookupTest(k memoKey) (constraint.Scores, []float64, bool) 
 
 // attachTest adds post-hoc test scores (EvaluateOnTest) to a committed
 // entry that was never test-confirmed, so sibling strategies reporting the
-// same best candidate skip the retraining too. Within one scenario the test
-// path is unique per mask — a subset either satisfies on validation
-// (confirmed during evaluation) or not (evaluated post hoc) — so the first
-// writer's values equal any later writer's and the update is idempotent.
+// same best candidate skip the retraining too — and, with a durable tier,
+// so do all future runs: the upgraded record is written through. Within one
+// scenario the test path is unique per mask — a subset either satisfies on
+// validation (confirmed during evaluation) or not (evaluated post hoc) — so
+// the first writer's values equal any later writer's and the update is
+// idempotent.
 func (m *SharedMemo) attachTest(k memoKey, test constraint.Scores, testCustom []float64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e, ok := m.entries[k]
 	if !ok || !e.ok || e.phys.hasTest {
+		m.mu.Unlock()
 		return
 	}
 	e.phys.test = test
 	e.phys.testCustom = testCustom
 	e.phys.hasTest = true
+	phys := e.phys
+	store := m.store
+	m.mu.Unlock()
+	if store != nil {
+		store.Put(m.storeKey(k), resultFromPhysical(phys))
+	}
 }

@@ -84,12 +84,15 @@ func TestSharedMemoMatchesPrivateRuns(t *testing.T) {
 						name, private[name], res)
 				}
 			}
-			trained, hits := memo.Stats()
-			if trained == 0 {
+			st := memo.Stats()
+			if st.Trained == 0 {
 				t.Fatal("memo never trained a subset")
 			}
-			if hits == 0 {
+			if st.Hits() == 0 {
 				t.Fatal("sharing never hit: the forward strategies evaluate overlapping prefixes")
+			}
+			if st.InFlight != 0 {
+				t.Fatalf("%d slots still in flight at quiesce", st.InFlight)
 			}
 		})
 	}
@@ -157,15 +160,15 @@ func TestSharedMemoSeedIsolation(t *testing.T) {
 	if _, err := runStrategyWithMeterMemo(s, scn, newSim(scn), 11, 20, memo); err != nil {
 		t.Fatal(err)
 	}
-	trainedBefore, _ := memo.Stats()
+	before := memo.Stats()
 	if _, err := runStrategyWithMeterMemo(s, scn, newSim(scn), PerturbSeed(11, 1), 20, memo); err != nil {
 		t.Fatal(err)
 	}
-	trainedAfter, hits := memo.Stats()
-	if hits != 0 {
-		t.Fatalf("different seeds shared %d entries", hits)
+	after := memo.Stats()
+	if h := after.Hits(); h != 0 {
+		t.Fatalf("different seeds shared %d entries", h)
 	}
-	if trainedAfter <= trainedBefore {
+	if after.Trained <= before.Trained {
 		t.Fatal("second seed trained nothing new")
 	}
 }

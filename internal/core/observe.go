@@ -27,6 +27,14 @@ type evalObs struct {
 	memoMisses  *obs.Counter
 	memoWaits   *obs.Counter // singleflight waits on another strategy's training
 
+	// evalstore.* counters split decided memo acquires by tier when a
+	// durable store is attached (memory → disk → train); waits are excluded,
+	// so lookups == hits_mem + hits_disk + misses holds exactly.
+	esLookups  *obs.Counter
+	esHitsMem  *obs.Counter
+	esHitsDisk *obs.Counter
+	esMisses   *obs.Counter
+
 	charges    *obs.Counter
 	chargeCost *obs.Histogram
 	trainTime  *obs.Histogram
@@ -45,6 +53,10 @@ func newEvalObs(rt *obs.Runtime, span obs.SpanID, kind string) *evalObs {
 		memoHits:    m.Counter("memo.hits"),
 		memoMisses:  m.Counter("memo.misses"),
 		memoWaits:   m.Counter("memo.waits"),
+		esLookups:   m.Counter("evalstore.lookups"),
+		esHitsMem:   m.Counter("evalstore.hits_mem"),
+		esHitsDisk:  m.Counter("evalstore.hits_disk"),
+		esMisses:    m.Counter("evalstore.misses"),
 		charges:     m.Counter("budget.charges"),
 		chargeCost:  m.Histogram("budget.charge_cost"),
 		trainTime:   m.Histogram("train.seconds." + kind),

@@ -157,16 +157,24 @@ func (s topK) Run(ev *Evaluator, rng *xrand.RNG) error {
 		}
 		return err
 	}
-	ranker := s.ranker
-	if wt, ok := ranker.(ranking.WorkerTunable); ok {
-		// Thread the scenario's kernel worker bound into data-parallel
-		// rankers; WithWorkers copies, so the shared strategy value is
-		// untouched and scores stay bit-identical at any setting.
-		ranker = wt.WithWorkers(ev.Scenario().kernelWorkers())
-	}
-	scores, err := ranker.Rank(ev.Scenario().Split.Train, rng.Split())
-	if err != nil {
-		return err
+	// Split unconditionally so the parent stream advances identically whether
+	// the ranking is computed or replayed from the durable tier.
+	rankRNG := rng.Split()
+	scores, _, hit := ev.sharedRanking(nil, string(s.ranker.Family()))
+	if !hit {
+		ranker := s.ranker
+		if wt, ok := ranker.(ranking.WorkerTunable); ok {
+			// Thread the scenario's kernel worker bound into data-parallel
+			// rankers; WithWorkers copies, so the shared strategy value is
+			// untouched and scores stay bit-identical at any setting.
+			ranker = wt.WithWorkers(ev.Scenario().kernelWorkers())
+		}
+		var err error
+		scores, err = ranker.Rank(ev.Scenario().Split.Train, rankRNG)
+		if err != nil {
+			return err
+		}
+		ev.storeRanking(nil, string(s.ranker.Family()), scores, false)
 	}
 	order := argsortDesc(scores)
 	return search.TPETopK(ev, order, search.TPEConfig{}, rng)
@@ -206,14 +214,26 @@ func (rfeStrategy) Run(ev *Evaluator, rng *xrand.RNG) error {
 		if err := ev.ChargeTraining(len(sel)); err != nil {
 			return nil, err
 		}
-		// RFE ranks the subset it just evaluated, so the evaluator's
-		// selection cache serves the feature-selected view without a copy.
-		sub := ev.TrainView(mask, sel)
-		scores, err := imp.Rank(sub, rng.Split())
-		if err != nil {
-			return nil, err
+		// Split unconditionally so the parent stream advances identically
+		// whether the ranking is computed or replayed from the durable tier.
+		rankRNG := rng.Split()
+		family := string(imp.Family())
+		scores, usedPerm, hit := ev.sharedRanking(mask, family)
+		if !hit {
+			// RFE ranks the subset it just evaluated, so the evaluator's
+			// selection cache serves the feature-selected view without a copy.
+			sub := ev.TrainView(mask, sel)
+			var err error
+			scores, err = imp.Rank(sub, rankRNG)
+			if err != nil {
+				return nil, err
+			}
+			usedPerm = imp.UsedPermutation
+			ev.storeRanking(mask, family, scores, usedPerm)
 		}
-		if imp.UsedPermutation {
+		if usedPerm {
+			// The permutation fallback's budget surcharge replays on a
+			// durable hit exactly as it was charged on the original run.
 			if err := ev.ChargePermutationOverhead(len(sel), 3); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,15 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package evalstore
+
+import "errors"
+
+// Non-unix fallback: no advisory locking. Single-process use stays fully
+// safe (the O_EXCL segment create still guarantees one writer per segment).
+// flockTryExclusive fails unconditionally so the compactor never treats a
+// possibly-live segment as sealed without a real lock to prove it.
+func flockExclusive(f interface{ Fd() uintptr }) error { return nil }
+
+func flockTryExclusive(f interface{ Fd() uintptr }) error {
+	return errors.New("evalstore: file locking unsupported on this platform")
+}

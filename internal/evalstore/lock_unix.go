@@ -1,0 +1,18 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package evalstore
+
+import "syscall"
+
+// flockExclusive takes a blocking exclusive advisory lock on f, held until
+// the descriptor closes. flock treats descriptors independently even within
+// one process, so a second Open of the same file observes the lock.
+func flockExclusive(f interface{ Fd() uintptr }) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// flockTryExclusive is the non-blocking variant; it fails immediately when
+// any process (including this one, via another descriptor) holds the lock.
+func flockTryExclusive(f interface{ Fd() uintptr }) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -173,6 +173,10 @@ func TPEBinary(obj Objective, cfg TPEConfig, rng *xrand.RNG) error {
 		return nil
 	}
 	var history []trialMask
+	// totals holds the per-feature on-counts of the trailing proposal window,
+	// maintained incrementally so each proposal only counts the good quantile
+	// and derives the bad side by exact integer subtraction.
+	totals := make([]float64, p)
 	seen := make(map[string]bool)
 	key := func(m []bool) string {
 		b := make([]byte, p)
@@ -190,7 +194,7 @@ func TPEBinary(obj Objective, cfg TPEConfig, rng *xrand.RNG) error {
 		if len(history) < cfg.StartupTrials {
 			mask = randomNonEmptyMask(p, rng)
 		} else {
-			mask = proposeMask(history, p, cfg, rng)
+			mask = proposeMask(history, totals, p, cfg, rng)
 		}
 		// Never waste budget on a duplicate: perturb until unseen, falling
 		// back to pure exploration.
@@ -210,6 +214,19 @@ func TPEBinary(obj Objective, cfg TPEConfig, rng *xrand.RNG) error {
 			return err
 		}
 		history = append(history, trialMask{append([]bool(nil), mask...), v})
+		for j, on := range mask {
+			if on {
+				totals[j]++
+			}
+		}
+		if len(history) > proposalWindow {
+			// The oldest trial just left the window; retire its counts.
+			for j, on := range history[len(history)-proposalWindow-1].mask {
+				if on {
+					totals[j]--
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -230,21 +247,52 @@ func randomNonEmptyMask(p int, rng *xrand.RNG) []bool {
 }
 
 // proposeMask scores candidate masks by the per-bit Bernoulli likelihood
-// ratio between good and bad trials (with add-one smoothing).
-func proposeMask(history []trialMask, p int, cfg TPEConfig, rng *xrand.RNG) []bool {
+// ratio between good and bad trials (with add-one smoothing). totals must be
+// the per-feature on-counts of the trailing proposalWindow trials; the bad
+// side's counts are derived from it by exact integer subtraction, so only the
+// good quantile is counted per call.
+func proposeMask(history []trialMask, totals []float64, p int, cfg TPEConfig, rng *xrand.RNG) []bool {
 	if len(history) > proposalWindow {
 		history = history[len(history)-proposalWindow:]
 	}
-	sorted := append([]trialMask(nil), history...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].value < sorted[b].value })
-	nGood := int(cfg.Gamma * float64(len(sorted)))
+	// Sort a permutation, not a copy of the trials: the comparator sees the
+	// same value sequence the trial-copy sort saw, so ties land identically.
+	idx := make([]int, len(history))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return history[idx[a]].value < history[idx[b]].value })
+	nGood := int(cfg.Gamma * float64(len(idx)))
 	if nGood < 1 {
 		nGood = 1
 	}
-	good, bad := sorted[:nGood], sorted[nGood:]
+	nBad := len(idx) - nGood
 
-	pGood := bernoulliRates(good, p)
-	pBad := bernoulliRates(bad, p)
+	goodCount := make([]float64, p)
+	for _, i := range idx[:nGood] {
+		for j, on := range history[i].mask {
+			if on {
+				goodCount[j]++
+			}
+		}
+	}
+	gden := float64(nGood) + 2
+	bden := float64(nBad) + 2
+	pGood := make([]float64, p)
+	pBad := make([]float64, p)
+	for j := 0; j < p; j++ {
+		pGood[j] = (goodCount[j] + 1) / gden // add-one smoothing
+		pBad[j] = (totals[j] - goodCount[j] + 1) / bden
+	}
+
+	// Every candidate sums the same p log-likelihood-ratio terms, only the
+	// on/off choice per bit differs — take the logs once, not per candidate.
+	logOn := make([]float64, p)
+	logOff := make([]float64, p)
+	for j := 0; j < p; j++ {
+		logOn[j] = math.Log(pGood[j] / pBad[j])
+		logOff[j] = math.Log((1 - pGood[j]) / (1 - pBad[j]))
+	}
 
 	var best []bool
 	bestScore := math.Inf(-1)
@@ -262,11 +310,10 @@ func proposeMask(history []trialMask, p int, cfg TPEConfig, rng *xrand.RNG) []bo
 		}
 		score := 0.0
 		for j := 0; j < p; j++ {
-			pg, pb := pGood[j], pBad[j]
 			if mask[j] {
-				score += math.Log(pg / pb)
+				score += logOn[j]
 			} else {
-				score += math.Log((1 - pg) / (1 - pb))
+				score += logOff[j]
 			}
 		}
 		if score > bestScore {
@@ -274,20 +321,6 @@ func proposeMask(history []trialMask, p int, cfg TPEConfig, rng *xrand.RNG) []bo
 		}
 	}
 	return best
-}
-
-func bernoulliRates(set []trialMask, p int) []float64 {
-	rates := make([]float64, p)
-	for j := 0; j < p; j++ {
-		on := 1.0 // add-one smoothing
-		for _, t := range set {
-			if t.mask[j] {
-				on++
-			}
-		}
-		rates[j] = on / (float64(len(set)) + 2)
-	}
-	return rates
 }
 
 // SAConfig tunes simulated annealing.

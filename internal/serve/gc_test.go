@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+)
+
+// instantBuild completes a job without real training but with a faithful
+// checkpoint, so restarted servers can re-adopt its done state.
+func instantBuild(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
+	records := make([]bench.Record, cfg.Scenarios)
+	for i := range records {
+		records[i] = bench.Record{ID: i, Dataset: "COMPAS"}
+		if opts.Sink != nil {
+			if err := opts.Sink.Append(&records[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &bench.Pool{Config: cfg, Records: records}, nil
+}
+
+func jobFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*"+jobFileSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTerminalJobEvictionByCount pins the MaxTerminalJobs retention policy:
+// the oldest terminal jobs are removed from memory and disk, the counter
+// moves, and surviving jobs stay queryable.
+func TestTerminalJobEvictionByCount(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, Config{
+		Dir: dir, Workers: 1, BuildPool: instantBuild, MaxTerminalJobs: 2,
+		// A long interval: this test drives the sweep explicitly.
+		GCInterval: time.Hour,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Scenarios: 1, Seed: 1, Datasets: []string{"COMPAS"}}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		code, st, _, _ := postJob(t, ts.URL, spec)
+		if code != 202 {
+			t.Fatalf("job %d: code %d", i, code)
+		}
+		awaitState(t, ts.URL, st.ID, StateDone)
+		ids = append(ids, st.ID)
+	}
+	if n := len(jobFiles(t, dir)); n != 5 {
+		t.Fatalf("%d job files before gc, want 5", n)
+	}
+
+	if n := srv.gcTerminal(time.Now()); n != 3 {
+		t.Fatalf("evicted %d jobs, want 3", n)
+	}
+	if n := len(jobFiles(t, dir)); n != 2 {
+		t.Fatalf("%d job files after gc, want 2", n)
+	}
+	if n := len(srv.Jobs()); n != 2 {
+		t.Fatalf("%d jobs in memory after gc, want 2", n)
+	}
+	for _, id := range ids[:3] {
+		if _, ok := srv.Job(id); ok {
+			t.Fatalf("evicted job %s still queryable", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, ok := srv.Job(id); !ok {
+			t.Fatalf("surviving job %s lost", id)
+		}
+	}
+	if got := srv.rt.Metrics().Snapshot().Counters["serve.job.evicted"]; got != 3 {
+		t.Fatalf("serve.job.evicted = %d, want 3", got)
+	}
+	// A second sweep is a no-op: the policy is already satisfied.
+	if n := srv.gcTerminal(time.Now()); n != 0 {
+		t.Fatalf("second sweep evicted %d jobs", n)
+	}
+}
+
+// TestTerminalJobEvictionByAge pins the JobTTL policy, including that
+// non-terminal jobs are spared no matter how old their files are.
+func TestTerminalJobEvictionByAge(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &bench.Pool{Config: cfg, Records: make([]bench.Record, cfg.Scenarios)}, nil
+	}
+	srv := newTestServer(t, Config{
+		Dir: dir, Workers: 1, BuildPool: blocking, JobTTL: 50 * time.Millisecond,
+		GCInterval: time.Hour,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Scenarios: 1, Seed: 1, Datasets: []string{"COMPAS"}}
+	_, running, _, _ := postJob(t, ts.URL, spec)
+	awaitState(t, ts.URL, running.ID, StateRunning)
+	close(release)
+	awaitState(t, ts.URL, running.ID, StateDone)
+	_, fresh, _, _ := postJob(t, ts.URL, spec)
+	awaitState(t, ts.URL, fresh.ID, StateDone)
+
+	// Both jobs are terminal. Age only the first one's lifecycle file.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, running.ID+jobFileSuffix), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.gcTerminal(time.Now()); n != 1 {
+		t.Fatalf("evicted %d jobs, want 1", n)
+	}
+	if _, ok := srv.Job(running.ID); ok {
+		t.Fatal("aged terminal job survived")
+	}
+	if _, ok := srv.Job(fresh.ID); !ok {
+		t.Fatal("fresh terminal job evicted")
+	}
+	checkInvariant(t, srv)
+}
+
+// TestEvictionAtStartup pins the startup sweep: a daemon restarted into a
+// directory over its retention cap starts within policy, and non-terminal
+// jobs are still re-adopted.
+func TestEvictionAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	first := newTestServer(t, Config{Dir: dir, Workers: 1, BuildPool: instantBuild})
+	ts := httptest.NewServer(first.Handler())
+	spec := JobSpec{Scenarios: 1, Seed: 1, Datasets: []string{"COMPAS"}}
+	for i := 0; i < 4; i++ {
+		_, st, _, _ := postJob(t, ts.URL, spec)
+		awaitState(t, ts.URL, st.ID, StateDone)
+	}
+	ts.Close()
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := newTestServer(t, Config{
+		Dir: dir, Workers: 1, BuildPool: instantBuild, MaxTerminalJobs: 1,
+		GCInterval: time.Hour,
+	})
+	if n := len(second.Jobs()); n != 1 {
+		t.Fatalf("restart retained %d jobs, want 1", n)
+	}
+	if n := len(jobFiles(t, dir)); n != 1 {
+		t.Fatalf("restart retained %d job files, want 1", n)
+	}
+	if got := second.rt.Metrics().Snapshot().Counters["serve.job.evicted"]; got != 3 {
+		t.Fatalf("serve.job.evicted = %d, want 3", got)
+	}
+}
+
+// TestGCLoopSweeps pins the timer path end to end: with a tiny interval and
+// TTL, terminal jobs disappear without any explicit sweep call.
+func TestGCLoopSweeps(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, Config{
+		Dir: dir, Workers: 1, BuildPool: instantBuild,
+		JobTTL: 500 * time.Millisecond, GCInterval: 20 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, st, _, _ := postJob(t, ts.URL, JobSpec{Scenarios: 1, Seed: 1, Datasets: []string{"COMPAS"}})
+	awaitState(t, ts.URL, st.ID, StateDone)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := srv.Job(st.ID); !ok {
+			if n := len(jobFiles(t, dir)); n != 0 {
+				t.Fatalf("%d job files left after timed eviction", n)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("gc loop never evicted the terminal job")
+}

@@ -43,6 +43,7 @@ import (
 
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/evalstore"
 	"github.com/declarative-fs/dfs/internal/obs"
 )
 
@@ -78,6 +79,22 @@ type Config struct {
 	// Retry is the job-level transient-retry schedule; the zero value means
 	// core.DefaultTransientRetries immediate retries.
 	Retry core.RetryPolicy
+	// EvalStore is the directory of the durable content-addressed evaluation
+	// store shared by every job, attempt, and daemon restart: identical
+	// scenarios replay stored trainings instead of recomputing them. Empty
+	// disables the store.
+	EvalStore string
+	// JobTTL evicts terminal (done/failed) jobs — lifecycle file and
+	// checkpoint — once their job file is older than this. 0 disables
+	// age-based eviction.
+	JobTTL time.Duration
+	// MaxTerminalJobs caps the number of retained terminal jobs, evicting the
+	// oldest beyond it. 0 disables count-based eviction.
+	MaxTerminalJobs int
+	// GCInterval is the period of the eviction sweep when JobTTL or
+	// MaxTerminalJobs is set; 0 means 1 minute. A sweep also runs at startup,
+	// after re-adoption.
+	GCInterval time.Duration
 	// BuildPool overrides the pool execution (tests); nil means
 	// bench.BuildPoolResumed.
 	BuildPool PoolBuilder
@@ -100,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BuildPool == nil {
 		c.BuildPool = bench.BuildPoolResumed
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = time.Minute
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
@@ -140,12 +160,17 @@ type Server struct {
 	lis     net.Listener
 	httpSrv *http.Server
 
+	// store is the durable evaluation store shared by every job (nil when
+	// Config.EvalStore is empty); closed at the end of Drain.
+	store *evalstore.Store
+
 	// counters; see package doc for the invariant they satisfy.
 	mAdmitted, mRejected            *obs.Counter
 	mRejFull, mRejBudget            *obs.Counter
 	mRejDraining, mRejInvalid       *obs.Counter
 	mResumed, mRetried              *obs.Counter
 	mDone, mFailed, mDrained        *obs.Counter
+	mEvicted                        *obs.Counter
 	gQueueDepth, gRunning, gTenants *obs.Gauge
 }
 
@@ -188,15 +213,28 @@ func New(cfg Config) (*Server, error) {
 		mDone:        m.Counter("serve.job.done"),
 		mFailed:      m.Counter("serve.job.failed"),
 		mDrained:     m.Counter("serve.job.drained"),
+		mEvicted:     m.Counter("serve.job.evicted"),
 		gQueueDepth:  m.Gauge("serve.queue.depth"),
 		gRunning:     m.Gauge("serve.jobs.running"),
 		gTenants:     m.Gauge("serve.tenants"),
 	}
+	if cfg.EvalStore != "" {
+		st, err := evalstore.Open(cfg.EvalStore, evalstore.Options{Metrics: m})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: eval store: %w", err)
+		}
+		s.store = st
+	}
 	resumable, err := s.scanDir()
 	if err != nil {
 		cancel()
+		s.closeStore()
 		return nil, err
 	}
+	// Evict stale terminal jobs before re-adoption finishes, so a daemon
+	// restarted into a crowded directory starts within its retention policy.
+	s.gcTerminal(time.Now())
 	// The channel needs headroom for every re-adopted job on top of the
 	// admission bound, so startup enqueues never block.
 	s.queue = make(chan *Job, cfg.QueueCap+len(resumable))
@@ -215,7 +253,97 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.JobTTL > 0 || cfg.MaxTerminalJobs > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	return s, nil
+}
+
+// closeStore flushes and releases the durable evaluation store (no-op when
+// none is configured). Failures are logged, not fatal: the store is a cache.
+func (s *Server) closeStore() {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Close(); err != nil {
+		s.cfg.Logf("serve: eval store close: %v", err)
+	}
+}
+
+// gcLoop periodically evicts terminal jobs per the retention policy until
+// the server drains.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			s.gcTerminal(now)
+		}
+	}
+}
+
+// gcTerminal evicts terminal (done/failed) jobs — memory entry, lifecycle
+// file, and checkpoint — oldest first: every terminal job whose lifecycle
+// file is older than JobTTL, then the oldest beyond MaxTerminalJobs.
+// Queued, running, and drained jobs are never touched; tenant spend already
+// charged is kept (eviction reclaims disk, not budget). Returns the number
+// of jobs evicted.
+func (s *Server) gcTerminal(now time.Time) int {
+	ttl, keep := s.cfg.JobTTL, s.cfg.MaxTerminalJobs
+	if ttl <= 0 && keep <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	var terminal []string // submission order: oldest first
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && j.State().terminal() {
+			terminal = append(terminal, id)
+		}
+	}
+	evict := make(map[string]bool)
+	if ttl > 0 {
+		for _, id := range terminal {
+			fi, err := os.Stat(filepath.Join(s.cfg.Dir, id+jobFileSuffix))
+			// An unstattable lifecycle file can't outlive its TTL; count-based
+			// eviction below still covers it.
+			if err == nil && now.Sub(fi.ModTime()) > ttl {
+				evict[id] = true
+			}
+		}
+	}
+	if keep > 0 {
+		for i := 0; i+keep < len(terminal); i++ {
+			evict[terminal[i]] = true
+		}
+	}
+	for id := range evict {
+		delete(s.jobs, id)
+	}
+	if len(evict) > 0 {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if !evict[id] {
+				kept = append(kept, id)
+			}
+		}
+		s.order = kept
+	}
+	s.mu.Unlock()
+	for id := range evict {
+		for _, path := range []string{filepath.Join(s.cfg.Dir, id+jobFileSuffix), s.ckptPath(id)} {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				s.cfg.Logf("serve: gc %s: %v", id, err)
+			}
+		}
+		s.mEvicted.Inc()
+		s.cfg.Logf("serve: job %s evicted", id)
+	}
+	return len(evict)
 }
 
 // scanDir loads every persisted job, rebuilding terminal results and
@@ -486,6 +614,7 @@ func (s *Server) buildOnce(ctx context.Context, job *Job, bcfg bench.Config) (p 
 	p, err = s.cfg.BuildPool(ctx, bcfg, bench.RunOptions{
 		Resume: resumed,
 		Sink:   &jobSink{inner: w, job: job},
+		Store:  s.store,
 	})
 	if cerr := w.Close(); cerr != nil && err == nil {
 		// A checkpoint flush failure means durability is gone; the job must
@@ -632,6 +761,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.httpSrv != nil {
 		_ = s.httpSrv.Close()
 	}
+	// Workers are quiesced, so no job is writing evaluations anymore.
+	s.closeStore()
 	close(s.drained)
 	s.cfg.Logf("serve: drained")
 	return nil

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+)
+
+// TestServerSharesEvalStoreAcrossJobs pins the daemon-side durable tier: two
+// jobs with identical specs share one store, so the second is served from
+// disk — it trains nothing new — and still reports identical records.
+func TestServerSharesEvalStoreAcrossJobs(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, EvalStore: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Scenarios: 1, Seed: 3, MaxEvals: 10, Datasets: []string{"COMPAS"}}
+	var records [][]bench.Record
+	for i := 0; i < 2; i++ {
+		code, st, _, _ := postJob(t, ts.URL, spec)
+		if code != 202 {
+			t.Fatalf("job %d: code %d", i, code)
+		}
+		awaitState(t, ts.URL, st.ID, StateDone)
+		job, ok := srv.Job(st.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", st.ID)
+		}
+		records = append(records, job.result().Records)
+	}
+	if !reflect.DeepEqual(records[0], records[1]) {
+		t.Fatal("identical specs produced different records through the store")
+	}
+
+	stats := srv.store.Stats()
+	if stats.Puts == 0 {
+		t.Fatalf("first job stored nothing: %s", stats)
+	}
+	if stats.HitsDisk == 0 {
+		t.Fatalf("second job was not served from the store: %s", stats)
+	}
+}
