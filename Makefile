@@ -4,7 +4,7 @@ BENCH_NOTE ?=
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 GIT_MSG := $(shell git log -1 --format=%s 2>/dev/null || echo local)
 
-.PHONY: all vet build test race bench ci dfsd
+.PHONY: all vet build test race bench bench-compare ci dfsd
 
 all: ci
 
@@ -33,6 +33,15 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json -note "$(BENCH_NOTE)" \
 			-gha dev/bench/data.js -seed BENCH_PR2.json,BENCH_PR5.json \
 			-commit "$(GIT_SHA)" -commit-message "$(GIT_MSG)"
+
+# bench-compare is the CI regression gate: it runs the same benchmarks but
+# writes nothing — the run is diffed against the newest tracked value of
+# each series in dev/bench/data.js and the target fails when ns/op or
+# allocs/op grew by more than 10% (tune with -compare-threshold).
+bench-compare:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ \
+		. ./internal/linalg ./internal/ranking ./internal/model \
+		| $(GO) run ./cmd/benchjson -compare dev/bench/data.js
 
 # dfsd builds the selection-service daemon (see README "Serving").
 dfsd:

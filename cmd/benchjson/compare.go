@@ -1,0 +1,67 @@
+package main
+
+// The -compare gate: diff a fresh `make bench` run against the tracked
+// github-action-benchmark trajectory (dev/bench/data.js) and fail CI when a
+// tracked series regresses beyond the threshold, so the gate follows the
+// recorded history instead of a single frozen baseline.
+
+// regression is one tracked series that got slower or allocates more.
+type regression struct {
+	Series string
+	Old    float64
+	New    float64
+	Unit   string
+	Ratio  float64 // (New-Old)/Old
+}
+
+// latestValues indexes the newest tracked value of every series in the
+// trajectory; later entries win, so the gate compares against where the
+// trajectory currently stands.
+func latestValues(d ghaData) map[string]ghaBench {
+	out := make(map[string]ghaBench)
+	for _, e := range d.Entries[ghaSeries] {
+		for _, b := range e.Benches {
+			out[b.Name] = b
+		}
+	}
+	return out
+}
+
+// compareRun diffs a parsed bench run against the newest tracked values:
+// every ns/op and allocs/op series whose relative increase exceeds
+// threshold is a regression. Series the trajectory has never tracked are
+// returned as missing (informational, not failures) so a new benchmark
+// doesn't break the gate before its first recorded entry; checked counts
+// the series actually compared.
+func compareRun(results []BenchResult, d ghaData, threshold float64) (regs []regression, missing []string, checked int) {
+	base := latestValues(d)
+	type series struct {
+		name string
+		val  float64
+		unit string
+	}
+	for _, r := range results {
+		checks := []series{{r.Name, r.NsPerOp, "ns/op"}}
+		if r.AllocsPerOp > 0 {
+			checks = append(checks, series{r.Name + " - allocs/op", float64(r.AllocsPerOp), "allocs/op"})
+		}
+		for _, c := range checks {
+			b, ok := base[c.name]
+			if !ok {
+				missing = append(missing, c.name)
+				continue
+			}
+			checked++
+			if b.Value <= 0 {
+				continue
+			}
+			ratio := (c.val - b.Value) / b.Value
+			if ratio > threshold {
+				regs = append(regs, regression{
+					Series: c.name, Old: b.Value, New: c.val, Unit: c.unit, Ratio: ratio,
+				})
+			}
+		}
+	}
+	return regs, missing, checked
+}

@@ -1,0 +1,89 @@
+package main
+
+import "testing"
+
+// trajectory builds a two-entry history where BenchmarkA improved from 200
+// to 100 ns/op (3 allocs) and BenchmarkB sat at 50 ns/op — the gate must
+// compare against the NEWEST entry, not the oldest or an average.
+func trajectory() ghaData {
+	return ghaData{Entries: map[string][]ghaEntry{ghaSeries: {
+		{Benches: []ghaBench{
+			{Name: "BenchmarkA", Value: 200, Unit: "ns/op"},
+			{Name: "BenchmarkA - allocs/op", Value: 3, Unit: "allocs/op"},
+		}},
+		{Benches: []ghaBench{
+			{Name: "BenchmarkA", Value: 100, Unit: "ns/op"},
+			{Name: "BenchmarkA - allocs/op", Value: 3, Unit: "allocs/op"},
+			{Name: "BenchmarkB", Value: 50, Unit: "ns/op"},
+		}},
+	}}}
+}
+
+func TestCompareRunCleanWithinThreshold(t *testing.T) {
+	results := []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 109, AllocsPerOp: 3}, // +9% < 10%
+		{Name: "BenchmarkB", NsPerOp: 40},                  // improvement
+	}
+	regs, missing, checked := compareRun(results, trajectory(), 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %+v", regs)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("expected no missing series, got %v", missing)
+	}
+	if checked != 3 { // A ns/op, A allocs/op, B ns/op
+		t.Fatalf("checked = %d, want 3", checked)
+	}
+}
+
+func TestCompareRunFlagsTimeRegression(t *testing.T) {
+	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 3}}
+	regs, _, _ := compareRun(results, trajectory(), 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("expected exactly 1 regression, got %+v", regs)
+	}
+	g := regs[0]
+	if g.Series != "BenchmarkA" || g.Old != 100 || g.New != 150 || g.Unit != "ns/op" {
+		t.Fatalf("unexpected regression record: %+v", g)
+	}
+	if g.Ratio < 0.49 || g.Ratio > 0.51 {
+		t.Fatalf("ratio = %v, want ~0.5", g.Ratio)
+	}
+}
+
+func TestCompareRunFlagsAllocRegression(t *testing.T) {
+	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 4}}
+	regs, _, _ := compareRun(results, trajectory(), 0.10)
+	if len(regs) != 1 || regs[0].Series != "BenchmarkA - allocs/op" {
+		t.Fatalf("expected one allocs/op regression, got %+v", regs)
+	}
+}
+
+func TestCompareRunUsesNewestEntry(t *testing.T) {
+	// 190 ns/op would be fine against the old 200 baseline but is a 90%
+	// regression against the newest tracked value of 100.
+	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 190, AllocsPerOp: 3}}
+	regs, _, _ := compareRun(results, trajectory(), 0.10)
+	if len(regs) != 1 || regs[0].Old != 100 {
+		t.Fatalf("gate must diff against the newest entry, got %+v", regs)
+	}
+}
+
+func TestCompareRunUntrackedSeriesIsNoteNotFailure(t *testing.T) {
+	results := []BenchResult{{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1e6}}
+	regs, missing, checked := compareRun(results, trajectory(), 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("untracked series must not fail the gate: %+v", regs)
+	}
+	if len(missing) != 2 || checked != 0 {
+		t.Fatalf("missing = %v, checked = %d; want both series noted, none checked", missing, checked)
+	}
+}
+
+func TestCompareRunEmptyTrajectory(t *testing.T) {
+	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 100}}
+	regs, missing, checked := compareRun(results, ghaData{Entries: map[string][]ghaEntry{}}, 0.10)
+	if len(regs) != 0 || checked != 0 || len(missing) != 1 {
+		t.Fatalf("empty trajectory must be all-missing: regs=%v missing=%v checked=%d", regs, missing, checked)
+	}
+}

@@ -19,6 +19,15 @@
 //
 // -seed-only rebuilds the -gha file from the seeds alone without reading
 // stdin (used to regenerate the committed artifact deterministically).
+//
+// -compare turns the tool into a CI regression gate: instead of recording
+// the run it diffs it against the newest tracked value of each series in the
+// given data.js and exits 1 when ns/op or allocs/op grew by more than
+// -compare-threshold (default 10%). Untracked series are notes, not
+// failures, so new benchmarks don't break the gate before their first
+// recorded entry:
+//
+//	... | go run ./cmd/benchjson -compare dev/bench/data.js
 package main
 
 import (
@@ -59,6 +68,8 @@ func main() {
 	repoURL := flag.String("repo-url", "", "repository URL recorded in the -gha file")
 	seed := flag.String("seed", "", "comma-separated BENCH_*.json trajectories that seed a missing -gha file")
 	seedOnly := flag.Bool("seed-only", false, "rebuild the -gha file from -seed alone; stdin and -out are untouched")
+	compare := flag.String("compare", "", "gate mode: diff the stdin run against this data.js and exit 1 on regression; nothing is written")
+	compareThreshold := flag.Float64("compare-threshold", 0.10, "relative ns/op or allocs/op increase tolerated by -compare")
 	flag.Parse()
 
 	if *seedOnly {
@@ -83,6 +94,29 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines found on stdin")
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		d, err := loadGHA(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regs, missing, checked := compareRun(results, d, *compareThreshold)
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %q has no tracked history in %s\n", name, *compare)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION against %s (threshold %.0f%%):\n", *compare, *compareThreshold*100)
+			for _, g := range regs {
+				fmt.Fprintf(os.Stderr, "  %-48s %14.1f -> %14.1f %s (+%.1f%%)\n",
+					g.Series, g.Old, g.New, g.Unit, 100*g.Ratio)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% across %d tracked series\n",
+			*compareThreshold*100, checked)
+		return
 	}
 
 	var runs []Run

@@ -50,6 +50,8 @@ func main() {
 	dumpPath := flag.String("dump", "", "write the raw HPO scenario pool as CSV to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /metrics, /progress on this address (e.g. 127.0.0.1:8090)")
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the run to this file")
+	traceRotate := flag.Int64("trace-rotate-bytes", 0, "rotate the -trace file when it would exceed this many bytes (0 = single file, no rotation)")
+	traceKeep := flag.Int("trace-keep", 8, "rotated -trace files to keep when -trace-rotate-bytes is set")
 	progressEvery := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
 	checkpointPrefix := flag.String("checkpoint", "", "stream completed scenarios to append-only JSONL checkpoints named PREFIX-LABEL.ckpt")
 	resume := flag.Bool("resume", false, "resume -checkpoint files from an earlier run (config must match; completed scenarios are not re-run)")
@@ -92,7 +94,7 @@ func main() {
 
 	// Observability is opt-in: without any of the three flags the context
 	// carries no runtime and the pools run on the uninstrumented path.
-	ctx, cleanup, err := setupObs(ctx, *debugAddr, *tracePath, *progressEvery)
+	ctx, cleanup, err := setupObs(ctx, *debugAddr, *tracePath, *traceRotate, *traceKeep, *progressEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
@@ -185,14 +187,14 @@ func parseShard(s string) (bench.ShardSpec, error) {
 	return spec, nil
 }
 
-// setupObs wires the opt-in observability surface: a JSONL tracer (-trace),
-// the debug HTTP listener (-debug-addr), and a periodic progress line
-// (-progress). It returns the runtime-carrying context and a cleanup that
-// flushes the trace and stops the listener, reporting the first failure —
-// a Flush/Close error on the trace file is lost data (full disk), not
-// noise. When no flag is set the context is returned untouched and cleanup
-// is a no-op.
-func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery time.Duration) (context.Context, func() error, error) {
+// setupObs wires the opt-in observability surface: a JSONL tracer (-trace,
+// size-rotated when -trace-rotate-bytes is set), the debug HTTP listener
+// (-debug-addr), and a periodic progress line (-progress). It returns the
+// runtime-carrying context and a cleanup that flushes the trace and stops
+// the listener, reporting the first failure — a Flush/Close error on the
+// trace file is lost data (full disk), not noise. When no flag is set the
+// context is returned untouched and cleanup is a no-op.
+func setupObs(ctx context.Context, debugAddr, tracePath string, traceRotate int64, traceKeep int, progressEvery time.Duration) (context.Context, func() error, error) {
 	noop := func() error { return nil }
 	if debugAddr == "" && tracePath == "" && progressEvery <= 0 {
 		return ctx, noop, nil
@@ -209,7 +211,28 @@ func setupObs(ctx context.Context, debugAddr, tracePath string, progressEvery ti
 	}
 	var opts []obs.Option
 	var tracer *obs.Tracer
-	if tracePath != "" {
+	switch {
+	case tracePath != "" && traceRotate > 0:
+		sink, err := obs.NewRotatingFileSink(tracePath, traceRotate, traceKeep)
+		if err != nil {
+			return ctx, noop, err
+		}
+		tracer = obs.NewTracer(sink)
+		// Rotating sinks append across runs; the epoch marker tells readers
+		// (cmd/obsreport) where this run's span numbering begins.
+		tracer.Event(0, obs.EpochEvent, obs.Str("daemon", "benchmark"))
+		opts = append(opts, obs.WithTracer(tracer))
+		cleanups = append(cleanups, func() error {
+			err := tracer.Err()
+			if cerr := sink.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("trace %s: %w", tracePath, err)
+			}
+			return nil
+		})
+	case tracePath != "":
 		f, err := os.Create(tracePath)
 		if err != nil {
 			return ctx, noop, err

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/serve"
 	"github.com/declarative-fs/dfs/internal/sigctx"
 )
@@ -54,6 +55,9 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 0, "evict terminal (done/failed) jobs older than this (0 = keep forever)")
 	maxTerminalJobs := flag.Int("max-terminal-jobs", 0, "keep at most this many terminal jobs, evicting the oldest (0 = unlimited)")
 	gcInterval := flag.Duration("gc-interval", time.Minute, "period of the terminal-job eviction sweep")
+	tracePath := flag.String("trace", "", "append a JSONL span trace (job → pool → scenario → strategy_run) to this file; read it with cmd/obsreport")
+	traceRotate := flag.Int64("trace-rotate-bytes", 64<<20, "rotate the -trace file when it would exceed this many bytes")
+	traceKeep := flag.Int("trace-keep", 8, "rotated -trace files to keep; older ones are deleted")
 	flag.Parse()
 
 	budgets, err := parseBudgets(*tenantBudgets)
@@ -63,6 +67,23 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	// The trace sink appends (and rotates), so a restarted daemon extends
+	// the same file set; the epoch marker tells readers where the new
+	// process (and its fresh span numbering) begins.
+	var rt *obs.Runtime
+	var sink *obs.RotatingFileSink
+	if *tracePath != "" {
+		sink, err = obs.NewRotatingFileSink(*tracePath, *traceRotate, *traceKeep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfsd:", err)
+			os.Exit(1)
+		}
+		tracer := obs.NewTracer(sink)
+		tracer.Event(0, obs.EpochEvent, obs.Str("daemon", "dfsd"), obs.Str("addr", *addr))
+		rt = obs.New(obs.WithTracer(tracer))
+	}
+
 	srv, err := serve.New(serve.Config{
 		Dir:                 *data,
 		QueueCap:            *queueCap,
@@ -82,6 +103,7 @@ func main() {
 			CapBackoff:  *retryCap,
 			JitterSeed:  *retrySeed,
 		},
+		Obs:  rt,
 		Logf: logger.Printf,
 	})
 	if err != nil {
@@ -108,6 +130,18 @@ func main() {
 	if err := srv.Drain(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "dfsd:", err)
 		os.Exit(1)
+	}
+	if sink != nil {
+		// The drain already closed every job span; flush the tail and
+		// surface any latched sink failure so an incomplete trace is loud.
+		err := rt.Tracer().Err()
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfsd: trace:", err)
+			os.Exit(1)
+		}
 	}
 	os.Exit(0)
 }

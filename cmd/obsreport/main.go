@@ -1,0 +1,93 @@
+// Command obsreport analyzes the JSONL span traces emitted by cmd/benchmark
+// and cmd/dfsd (-trace), including size-rotated file sets: it reconstructs
+// the job → pool → scenario → strategy_run span trees and prints critical
+// paths per scenario, the slowest strategy runs, the memo hit-rate
+// breakdown, and per-tenant job latency quantiles. With -metrics it also
+// cross-checks span and event counts against a /metrics JSON snapshot from
+// the same process and reports p50/p95/p99 of the serve SLO histograms.
+//
+// Usage:
+//
+//	obsreport [-json] [-top N] [-metrics metrics.json] trace.jsonl [more...]
+//
+// Each trace argument is expanded to its rotated siblings (trace.jsonl.N,
+// oldest first) automatically. Exit status: 0 clean, 1 invariant violations
+// (incomplete span trees in the newest epoch, duplicate job trees, or
+// trace/counter disagreement), 2 usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/declarative-fs/dfs/internal/obs"
+	"github.com/declarative-fs/dfs/internal/tracereport"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	topN := flag.Int("top", 10, "how many scenarios / strategy runs to list")
+	metricsPath := flag.String("metrics", "", "a /metrics JSON snapshot to cross-check the trace against")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: obsreport [flags] trace.jsonl [more traces...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var files []string
+	seen := make(map[string]bool)
+	for _, arg := range flag.Args() {
+		set := obs.RotatedFiles(arg)
+		if len(set) == 0 {
+			set = []string{arg} // let Load report the open error
+		}
+		for _, f := range set {
+			if !seen[f] {
+				seen[f] = true
+				files = append(files, f)
+			}
+		}
+	}
+
+	opts := tracereport.Options{TopN: *topN}
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+			os.Exit(2)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: parse %s: %v\n", *metricsPath, err)
+			os.Exit(2)
+		}
+		opts.Metrics = &snap
+	}
+
+	trace, err := tracereport.Load(files...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(2)
+	}
+	report := tracereport.Build(trace, opts)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		report.WriteText(os.Stdout)
+	}
+	if len(report.Violations) > 0 {
+		os.Exit(1)
+	}
+}

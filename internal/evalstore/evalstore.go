@@ -103,8 +103,10 @@ type recordLine struct {
 // Options configure Open.
 type Options struct {
 	// Metrics, when non-nil, registers the store-level obs counters
-	// (evalstore.wal_bytes, evalstore.compactions) alongside the
-	// evaluator-side evalstore.lookups/hits_mem/hits_disk/misses family.
+	// (evalstore.wal_bytes, evalstore.compactions) and the scrape-time size
+	// gauges published by SyncGauges (evalstore.entries / .segments /
+	// .segment_bytes), alongside the evaluator-side
+	// evalstore.lookups/hits_mem/hits_disk/misses family.
 	Metrics *obs.Registry
 	// CompactAt overrides the sealed-segment count that triggers compaction
 	// at Open (0 = default; negative disables compaction).
@@ -159,6 +161,11 @@ type Store struct {
 
 	mWALBytes *obs.Counter
 	mCompacts *obs.Counter
+
+	// Scrape-time gauges, refreshed by SyncGauges (nil without a registry).
+	gEntries  *obs.Gauge
+	gSegments *obs.Gauge
+	gSegBytes *obs.Gauge
 }
 
 // Open loads (or creates) the store directory: scans every segment into the
@@ -179,6 +186,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		done:      make(chan struct{}),
 		mWALBytes: opts.Metrics.Counter("evalstore.wal_bytes"),
 		mCompacts: opts.Metrics.Counter("evalstore.compactions"),
+		gEntries:  opts.Metrics.Gauge("evalstore.entries"),
+		gSegments: opts.Metrics.Gauge("evalstore.segments"),
+		gSegBytes: opts.Metrics.Gauge("evalstore.segment_bytes"),
 	}
 	segs, maxSeq, err := s.scan()
 	if err != nil {
@@ -560,6 +570,31 @@ func (s *Store) Close() error {
 		s.closeErr = err
 	})
 	return s.closeErr
+}
+
+// SyncGauges publishes the store's point-in-time sizes — index entries,
+// segments loaded at Open, and bytes across every segment file currently on
+// disk — as registry gauges (evalstore.entries / .segments /
+// .segment_bytes). Unlike the wal_bytes/compactions counters these have no
+// natural increment stream, so they are refreshed at scrape time
+// (GET /metrics) rather than on the Put hot path. No-op when the store was
+// opened without a metrics registry.
+func (s *Store) SyncGauges() {
+	if s.gEntries == nil {
+		return
+	}
+	st := s.Stats()
+	s.gEntries.Set(int64(st.Entries))
+	s.gSegments.Set(int64(st.Segments))
+	var total int64
+	if matches, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix)); err == nil {
+		for _, m := range matches {
+			if fi, err := os.Stat(m); err == nil {
+				total += fi.Size()
+			}
+		}
+	}
+	s.gSegBytes.Set(total)
 }
 
 // Stats snapshots the store's counters.

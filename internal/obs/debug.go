@@ -21,7 +21,7 @@ type DebugServer struct {
 // ":0" to pick a free port — see Addr):
 //
 //	/debug/pprof/   pprof index, profile, heap, goroutine, trace, ...
-//	/metrics        registry dump (JSON)
+//	/metrics        registry dump (JSON; ?format=prom for Prometheus text)
 //	/progress       live pool progress (JSON)
 //
 // The server runs until Close. A nil runtime still serves pprof; /metrics
@@ -37,7 +37,12 @@ func StartDebug(addr string, rt *Runtime) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = rt.Metrics().WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = rt.Metrics().WriteJSON(w)
 	})

@@ -114,6 +114,73 @@ type HistogramSnapshot struct {
 	Buckets []int64   `json:"buckets"`
 }
 
+// MarshalJSON renders min/max as null when the histogram is empty: a
+// zero-count snapshot has never observed anything, so `min=0,max=0` would
+// read as two real samples at zero. Count/sum/buckets keep their zero forms
+// (they are honest at zero), and `json.Unmarshal` of a null into a float64
+// field is a no-op, so round-tripping through Snapshot still works.
+func (s HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Count   int64     `json:"count"`
+		Sum     float64   `json:"sum"`
+		Min     *float64  `json:"min"`
+		Max     *float64  `json:"max"`
+		Bounds  []float64 `json:"bounds"`
+		Buckets []int64   `json:"buckets"`
+	}
+	a := alias{Count: s.Count, Sum: s.Sum, Bounds: s.Bounds, Buckets: s.Buckets}
+	if s.Count > 0 {
+		a.Min, a.Max = &s.Min, &s.Max
+	}
+	return json.Marshal(a)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded distribution
+// by linear interpolation inside the bucket containing the target rank, the
+// same estimate Prometheus's histogram_quantile computes. The interpolation
+// range of each bucket is tightened by the exact observed Min/Max, so
+// single-sample and narrow distributions don't smear across a whole decade.
+// Returns NaN when the histogram is empty or q is outside [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		return s.Min
+	}
+	cum := int64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < target {
+			cum += n
+			continue
+		}
+		// Target rank falls in bucket i, spanning [lower, upper).
+		lower, upper := 0.0, s.Max
+		if i > 0 && i <= len(s.Bounds) {
+			lower = s.Bounds[i-1]
+		}
+		if i < len(s.Bounds) {
+			upper = s.Bounds[i]
+		}
+		if lower < s.Min {
+			lower = s.Min
+		}
+		if upper > s.Max {
+			upper = s.Max
+		}
+		if upper < lower {
+			upper = lower
+		}
+		v := lower + (upper-lower)*(target-float64(cum))/float64(n)
+		return math.Min(math.Max(v, s.Min), s.Max)
+	}
+	return s.Max
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format rendered by WriteProm (format version 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the registry in Prometheus text exposition format:
+// every counter and gauge as a typed sample, every histogram as cumulative
+// `_bucket{le=...}` series ending in the `+Inf` bucket (always equal to
+// `_count`) plus `_sum` and `_count`, and — only when the histogram has
+// observed anything — `_min` / `_max` companion gauges. Metric names are
+// sanitized to the Prometheus charset ([a-zA-Z0-9_:], e.g.
+// `serve.queue.depth` → `serve_queue_depth`); the rare collision after
+// sanitization gets a deterministic `_2`, `_3`, ... suffix so no series is
+// silently merged. Safe on a nil registry (renders nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.Snapshot().WriteProm(w)
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format; see
+// Registry.WriteProm.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	used := make(map[string]bool)
+	for _, name := range sortedKeys(s.Counters) {
+		pn := claimPromName(promName(name), used, nil)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := claimPromName(promName(name), used, nil)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Gauges[name])
+	}
+	// Histograms also reserve their generated series names, so a counter
+	// named e.g. "x.count" can never collide with histogram "x"'s _count.
+	histSuffixes := []string{"_bucket", "_sum", "_count", "_min", "_max"}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := claimPromName(promName(name), used, histSuffixes)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, n := range h.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(bw, "# TYPE %s_min gauge\n%s_min %s\n", pn, pn, promFloat(h.Min))
+			fmt.Fprintf(bw, "# TYPE %s_max gauge\n%s_max %s\n", pn, pn, promFloat(h.Max))
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promFloat formats a float the exposition format accepts, including the
+// literal +Inf/-Inf/NaN spellings (strconv produces exactly those).
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// promName maps a registry metric name onto the Prometheus name charset:
+// every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a
+// '_' prefix. Strategy-derived names like "strategy.failed.SFS(NR)" pass
+// through here, so the mapping must accept arbitrary bytes.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// claimPromName reserves base (plus every base+suffix series a histogram
+// will emit) in used, bumping to base_2, base_3, ... on collision so two
+// registry names that sanitize identically stay distinct series.
+func claimPromName(base string, used map[string]bool, suffixes []string) string {
+	candidate := base
+	for n := 2; ; n++ {
+		ok := !used[candidate]
+		for _, suf := range suffixes {
+			if used[candidate+suf] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			used[candidate] = true
+			for _, suf := range suffixes {
+				used[candidate+suf] = true
+			}
+			return candidate
+		}
+		candidate = base + "_" + strconv.Itoa(n)
+	}
+}

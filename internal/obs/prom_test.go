@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string // full series name (including _bucket/_sum/_count suffix)
+	family string // declared metric family the sample belongs to
+	labels string // raw label block, "" when absent
+	value  float64
+}
+
+// parsePromText is a strict parser of the exposition subset WriteProm emits.
+// It fails the test on: untyped series, unknown TYPE values, re-typed
+// families, duplicate samples, or unparseable values.
+func parsePromText(t *testing.T, text string) (map[string]string, []promSample) {
+	t.Helper()
+	types := make(map[string]string)
+	var samples []promSample
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if old, ok := types[name]; ok && old != typ {
+				t.Fatalf("line %d: %s re-typed %s -> %s", ln+1, name, old, typ)
+			}
+			types[name] = typ
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		value, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valText, err)
+		}
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated labels %q", ln+1, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		for _, c := range []byte(name) {
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+				c >= '0' && c <= '9' || c == '_' || c == ':'
+			if !ok {
+				t.Fatalf("line %d: invalid name byte %q in %q", ln+1, string(c), name)
+			}
+		}
+		family := name
+		if _, ok := types[family]; !ok {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suf)
+				if base != name && types[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			t.Fatalf("line %d: series %q has no TYPE declaration", ln+1, name)
+		}
+		if typ == "histogram" && family == name {
+			t.Fatalf("line %d: bare sample %q for histogram family", ln+1, name)
+		}
+		if seen[series] {
+			t.Fatalf("line %d: duplicate sample %q", ln+1, series)
+		}
+		seen[series] = true
+		samples = append(samples, promSample{name: name, family: family, labels: labels, value: value})
+	}
+	return types, samples
+}
+
+func TestWritePromWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("strategy.runs").Add(17)
+	r.Counter("strategy.failed.SFS(NR)").Add(2)
+	// These two sanitize to the same name and must not merge.
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	// A counter that squats on the _count series of a histogram family.
+	r.Counter("run.cost.count").Add(9)
+	r.Gauge("serve.queue.depth").Set(3)
+	h := r.Histogram("run.cost")
+	for _, v := range []float64{0.004, 0.05, 0.05, 2.5, 40, 40, 40, 700} {
+		h.Observe(v)
+	}
+	r.Histogram("empty.hist") // registered, never observed
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	types, samples := parsePromText(t, buf.String())
+
+	byName := make(map[string]float64)
+	for _, s := range samples {
+		byName[s.name+"{"+s.labels+"}"] = s.value
+	}
+	if byName["strategy_runs{}"] != 17 {
+		t.Fatalf("strategy_runs = %v, want 17", byName["strategy_runs{}"])
+	}
+	if types["strategy_failed_SFS_NR_"] != "counter" {
+		t.Fatalf("sanitized strategy counter missing: %v", types)
+	}
+	if byName["a_b{}"] != 1 || byName["a_b_2{}"] != 2 {
+		t.Fatalf("collision suffixing failed: a_b=%v a_b_2=%v", byName["a_b{}"], byName["a_b_2{}"])
+	}
+	if types["serve_queue_depth"] != "gauge" || byName["serve_queue_depth{}"] != 3 {
+		t.Fatalf("gauge wrong: %v %v", types["serve_queue_depth"], byName["serve_queue_depth{}"])
+	}
+
+	// The histogram family must have been bumped off run_cost (whose _count
+	// is taken by the counter run.cost.count).
+	if types["run_cost"] == "histogram" {
+		t.Fatalf("histogram run_cost collides with counter run_cost_count")
+	}
+	var histFamilies []string
+	for name, typ := range types {
+		if typ == "histogram" {
+			histFamilies = append(histFamilies, name)
+		}
+	}
+	if len(histFamilies) != 2 {
+		t.Fatalf("want 2 histogram families, got %v", histFamilies)
+	}
+
+	for _, fam := range histFamilies {
+		var buckets []promSample
+		for _, s := range samples {
+			if s.family == fam && s.name == fam+"_bucket" {
+				buckets = append(buckets, s)
+			}
+		}
+		if len(buckets) != numHistBounds+1 {
+			t.Fatalf("%s: %d buckets, want %d", fam, len(buckets), numHistBounds+1)
+		}
+		prevLE := math.Inf(-1)
+		prevCum := int64(-1)
+		for i, b := range buckets {
+			le := strings.TrimSuffix(strings.TrimPrefix(b.labels, `le="`), `"`)
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("%s: bad le %q: %v", fam, b.labels, err)
+			}
+			if bound <= prevLE {
+				t.Fatalf("%s: le not increasing at %d", fam, i)
+			}
+			prevLE = bound
+			if int64(b.value) < prevCum {
+				t.Fatalf("%s: buckets not cumulative at %d", fam, i)
+			}
+			prevCum = int64(b.value)
+			if i == len(buckets)-1 && !math.IsInf(bound, 1) {
+				t.Fatalf("%s: last bucket le=%v, want +Inf", fam, bound)
+			}
+		}
+		count, ok := byName[fam+"_count{}"]
+		if !ok {
+			t.Fatalf("%s: missing _count", fam)
+		}
+		if _, ok := byName[fam+"_sum{}"]; !ok {
+			t.Fatalf("%s: missing _sum", fam)
+		}
+		if float64(prevCum) != count {
+			t.Fatalf("%s: +Inf bucket %d != _count %v", fam, prevCum, count)
+		}
+		_, hasMin := byName[fam+"_min{}"]
+		_, hasMax := byName[fam+"_max{}"]
+		if count == 0 && (hasMin || hasMax) {
+			t.Fatalf("%s: empty histogram must omit _min/_max", fam)
+		}
+		if count > 0 && (!hasMin || !hasMax) {
+			t.Fatalf("%s: observed histogram missing _min/_max", fam)
+		}
+	}
+
+	// Nil registry renders an empty (valid) document.
+	var nilReg *Registry
+	buf.Reset()
+	if err := nilReg.WriteProm(&buf); err != nil {
+		t.Fatalf("nil WriteProm: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry rendered %q", buf.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatalf("empty quantile = %v, want NaN", empty.Quantile(0.5))
+	}
+
+	r := NewRegistry()
+	single := r.Histogram("single")
+	single.Observe(0.005)
+	ss := r.Snapshot().Histograms["single"]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := ss.Quantile(q); got != 0.005 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 0.005", q, got)
+		}
+	}
+	if !math.IsNaN(ss.Quantile(-0.1)) || !math.IsNaN(ss.Quantile(1.5)) {
+		t.Fatalf("out-of-range q must be NaN")
+	}
+
+	// 100 samples spread evenly across one bucket [0.01, 0.1): the
+	// interpolated median should land near the true median.
+	uni := r.Histogram("uniform")
+	for i := 0; i < 100; i++ {
+		uni.Observe(0.01 + float64(i)*0.0009)
+	}
+	us := r.Snapshot().Histograms["uniform"]
+	trueMedian := 0.01 + 49.5*0.0009
+	if got := us.Quantile(0.5); math.Abs(got-trueMedian) > 0.1*trueMedian {
+		t.Fatalf("uniform p50 = %v, want ~%v", got, trueMedian)
+	}
+	if got := us.Quantile(0); got != us.Min {
+		t.Fatalf("p0 = %v, want Min %v", got, us.Min)
+	}
+	if got := us.Quantile(1); got != us.Max {
+		t.Fatalf("p100 = %v, want Max %v", got, us.Max)
+	}
+
+	// Bimodal across buckets: 90 fast samples, 10 slow ones. p50 stays in
+	// the fast bucket, p99 lands in the slow bucket, and quantiles are
+	// monotone in q and clamped to [Min, Max].
+	bi := r.Histogram("bimodal")
+	for i := 0; i < 90; i++ {
+		bi.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		bi.Observe(5)
+	}
+	bs := r.Snapshot().Histograms["bimodal"]
+	p50, p99 := bs.Quantile(0.5), bs.Quantile(0.99)
+	if p50 < 0.01 || p50 >= 0.1 {
+		t.Fatalf("bimodal p50 = %v, want within fast bucket [0.01,0.1)", p50)
+	}
+	if p99 < 1 || p99 > 5 {
+		t.Fatalf("bimodal p99 = %v, want within [1,5]", p99)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := bs.Quantile(q)
+		if v < bs.Min || v > bs.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v,%v]", q, v, bs.Min, bs.Max)
+		}
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Regression test: an empty histogram used to report min=0,max=0 as if two
+// zero samples had been observed. JSON now renders null for both.
+func TestEmptyHistogramJSONNullMinMax(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty")
+	r.Histogram("seen").Observe(3.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var raw struct {
+		Histograms map[string]struct {
+			Count int64    `json:"count"`
+			Min   *float64 `json:"min"`
+			Max   *float64 `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	e := raw.Histograms["empty"]
+	if e.Count != 0 || e.Min != nil || e.Max != nil {
+		t.Fatalf("empty histogram rendered min=%v max=%v, want null", e.Min, e.Max)
+	}
+	s := raw.Histograms["seen"]
+	if s.Min == nil || s.Max == nil || *s.Min != 3.5 || *s.Max != 3.5 {
+		t.Fatalf("observed histogram lost min/max: %+v", s)
+	}
+
+	// Round-tripping through the public Snapshot type must keep working
+	// (null min/max is a no-op on float64 fields).
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot round-trip: %v", err)
+	}
+	if snap.Histograms["seen"].Min != 3.5 {
+		t.Fatalf("round-trip min = %v", snap.Histograms["seen"].Min)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// EpochEvent is the distinguished trace event (span 0) a daemon emits right
+// after creating its tracer. Each process appends to the same rotated sink
+// across restarts, and every tracer numbers spans from 1, so span IDs repeat
+// between runs; the epoch marker lets readers (internal/tracereport) key
+// spans by (epoch, id) and scope invariant checks to the latest run.
+const EpochEvent = "trace_epoch"
+
+// RotatingFileSink is a trace Sink that appends JSONL lines to path and
+// rotates by size: when the next line would push the active file past
+// maxBytes, the file is renamed path → path.1 (shifting path.1 → path.2, ...,
+// dropping anything beyond keep) and a fresh active file is opened. Rotation
+// happens only at line boundaries, so no record is ever split across files.
+// The active file is opened O_APPEND, so a restarted daemon extends the same
+// set instead of truncating its own history.
+type RotatingFileSink struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	keep     int
+	f        *os.File
+	w        *bufio.Writer
+	size     int64
+	closed   bool
+}
+
+// NewRotatingFileSink opens (or appends to) path. maxBytes <= 0 defaults to
+// 64 MiB; keep is the number of rotated files retained besides the active
+// one (keep <= 0 deletes the file on rotation instead of renaming it).
+func NewRotatingFileSink(path string, maxBytes int64, keep int) (*RotatingFileSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	s := &RotatingFileSink{path: path, maxBytes: maxBytes, keep: keep}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *RotatingFileSink) open() error {
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: trace sink: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace sink: %w", err)
+	}
+	s.f = f
+	s.size = fi.Size()
+	s.w = bufio.NewWriterSize(f, 64<<10)
+	return nil
+}
+
+// Emit implements Sink. The tracer serializes calls, but Emit also locks so
+// Flush/Close from another goroutine stay safe.
+func (s *RotatingFileSink) Emit(line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("obs: trace sink: emit after close")
+	}
+	if s.size > 0 && s.size+int64(len(line)) > s.maxBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	n, err := s.w.Write(line)
+	s.size += int64(n)
+	return err
+}
+
+func (s *RotatingFileSink) rotate() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if s.keep <= 0 {
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+	} else {
+		// Drop the oldest slot, shift the rest up, then retire the active file.
+		if err := os.Remove(rotatedName(s.path, s.keep)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		for i := s.keep - 1; i >= 1; i-- {
+			old := rotatedName(s.path, i)
+			if _, err := os.Stat(old); err != nil {
+				continue
+			}
+			if err := os.Rename(old, rotatedName(s.path, i+1)); err != nil {
+				return err
+			}
+		}
+		if err := os.Rename(s.path, rotatedName(s.path, 1)); err != nil {
+			return err
+		}
+	}
+	return s.open()
+}
+
+// Flush forces buffered lines to disk (e.g. before scraping the files while
+// the daemon is still running).
+func (s *RotatingFileSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and closes the active file. Further Emits fail (and latch
+// into the tracer's error).
+func (s *RotatingFileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func rotatedName(path string, i int) string {
+	return path + "." + strconv.Itoa(i)
+}
+
+// RotatedFiles returns the trace files of a rotated set in chronological
+// order — path.<highest>, ..., path.1, then the active path — including only
+// files that exist. Feeding the result to a trace reader replays the full
+// retained history oldest-first.
+func RotatedFiles(path string) []string {
+	matches, _ := filepath.Glob(path + ".*")
+	var idx []int
+	for _, m := range matches {
+		suffix := strings.TrimPrefix(m, path+".")
+		if n, err := strconv.Atoi(suffix); err == nil && n > 0 {
+			idx = append(idx, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(idx)))
+	files := make([]string, 0, len(idx)+1)
+	for _, n := range idx {
+		files = append(files, rotatedName(path, n))
+	}
+	if _, err := os.Stat(path); err == nil {
+		files = append(files, path)
+	}
+	return files
+}

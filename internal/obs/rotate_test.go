@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func emitLines(t *testing.T, s *RotatingFileSink, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		line := fmt.Sprintf("{\"i\":%d}\n", i)
+		if err := s.Emit([]byte(line)); err != nil {
+			t.Fatalf("Emit(%d): %v", i, err)
+		}
+	}
+}
+
+func readAllLines(t *testing.T, files []string) []string {
+	t.Helper()
+	var lines []string
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan %s: %v", path, err)
+		}
+		f.Close()
+	}
+	return lines
+}
+
+func TestRotatingFileSinkPreservesEveryLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewRotatingFileSink(path, 128, 100)
+	if err != nil {
+		t.Fatalf("NewRotatingFileSink: %v", err)
+	}
+	emitLines(t, s, 0, 200)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files := RotatedFiles(path)
+	if len(files) < 3 {
+		t.Fatalf("expected rotation, got files %v", files)
+	}
+	lines := readAllLines(t, files)
+	if len(lines) != 200 {
+		t.Fatalf("got %d lines, want 200", len(lines))
+	}
+	for i, line := range lines {
+		if want := fmt.Sprintf("{\"i\":%d}", i); line != want {
+			t.Fatalf("line %d = %q, want %q (order or torn line)", i, line, want)
+		}
+	}
+}
+
+func TestRotatingFileSinkDropsOldestBeyondKeep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewRotatingFileSink(path, 64, 2)
+	if err != nil {
+		t.Fatalf("NewRotatingFileSink: %v", err)
+	}
+	emitLines(t, s, 0, 100)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files := RotatedFiles(path)
+	if len(files) != 3 {
+		t.Fatalf("keep=2 must retain exactly active+2 files, got %v", files)
+	}
+	lines := readAllLines(t, files)
+	if len(lines) >= 100 {
+		t.Fatalf("oldest lines should have been dropped, got %d", len(lines))
+	}
+	if last := lines[len(lines)-1]; last != "{\"i\":99}" {
+		t.Fatalf("newest line lost: %q", last)
+	}
+}
+
+func TestRotatingFileSinkKeepZeroDeletesOnRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewRotatingFileSink(path, 64, 0)
+	if err != nil {
+		t.Fatalf("NewRotatingFileSink: %v", err)
+	}
+	emitLines(t, s, 0, 50)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files := RotatedFiles(path)
+	if len(files) != 1 || files[0] != path {
+		t.Fatalf("keep=0 must leave only the active file, got %v", files)
+	}
+}
+
+func TestRotatingFileSinkAppendsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewRotatingFileSink(path, 1<<20, 4)
+	if err != nil {
+		t.Fatalf("NewRotatingFileSink: %v", err)
+	}
+	emitLines(t, s, 0, 10)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A restarted daemon reopens the same path and must append, not truncate.
+	s2, err := NewRotatingFileSink(path, 1<<20, 4)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	emitLines(t, s2, 10, 20)
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lines := readAllLines(t, RotatedFiles(path))
+	if len(lines) != 20 {
+		t.Fatalf("got %d lines across restart, want 20", len(lines))
+	}
+	if err := s2.Emit([]byte("x\n")); err == nil {
+		t.Fatalf("Emit after Close must error")
+	}
+}

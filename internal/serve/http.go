@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"github.com/declarative-fs/dfs/internal/bench"
+	"github.com/declarative-fs/dfs/internal/obs"
 )
 
 // retryAfterSeconds is the client backoff hint attached to 429/503
@@ -21,6 +23,7 @@ const retryAfterSeconds = 2
 //	GET  /jobs/{id}        one job's lifecycle state → 200 Status
 //	GET  /jobs/{id}/result completed pool as CSV     → 200 text/csv
 //	GET  /metrics          obs metrics registry      → 200 JSON
+//	                       (?format=prom → Prometheus text exposition)
 //	GET  /progress         live pool progress        → 200 JSON
 //	GET  /healthz          serving/draining state    → 200 JSON
 //	     /debug/pprof/...  live profiling
@@ -34,10 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = s.rt.Metrics().WriteJSON(w)
-	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.rt.Progress().WriteJSON(w)
@@ -133,6 +133,21 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Logf("serve: result %s: %v", job.ID, err)
 		panic(http.ErrAbortHandler)
 	}
+}
+
+// handleMetrics serves the registry — JSON by default, Prometheus text
+// exposition with ?format=prom — refreshing the scrape-time gauges (oldest
+// queued job age, eval-store sizes) first so a scraper always reads a
+// current value without the hot path maintaining one.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncScrapeGauges(time.Now())
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = s.rt.Metrics().WriteProm(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.rt.Metrics().WriteJSON(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -10,6 +10,7 @@ import (
 
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/synth"
 )
 
@@ -136,6 +137,16 @@ type Job struct {
 	cost     float64
 	resumed  bool // re-enqueued from disk by a restarted daemon
 	pool     *bench.Pool
+
+	// Process-local tracing and SLO state, never persisted. span is the
+	// job's trace identity, opened at admission; the worker that runs the
+	// job is the only writer of dequeuedAt and the only closer of the span
+	// until Drain quiesces the workers (wg.Wait orders those writes before
+	// Drain's final sweep over still-queued jobs).
+	span       obs.SpanID
+	spanOpen   bool
+	admittedAt time.Time
+	dequeuedAt time.Time
 }
 
 // Status is the wire representation of a job, returned by GET /jobs/{id}.

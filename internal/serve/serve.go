@@ -164,6 +164,10 @@ type Server struct {
 	// Config.EvalStore is empty); closed at the end of Drain.
 	store *evalstore.Store
 
+	// queuedAt holds the admission time of every still-queued job (guarded
+	// by mu); the scrape-time serve.queue.oldest_age_seconds gauge reads it.
+	queuedAt map[string]time.Time
+
 	// counters; see package doc for the invariant they satisfy.
 	mAdmitted, mRejected            *obs.Counter
 	mRejFull, mRejBudget            *obs.Counter
@@ -172,6 +176,9 @@ type Server struct {
 	mDone, mFailed, mDrained        *obs.Counter
 	mEvicted                        *obs.Counter
 	gQueueDepth, gRunning, gTenants *obs.Gauge
+	gOldestAge                      *obs.Gauge
+	// SLO latency histograms: time queued, time executing, admission→end.
+	hQueueWait, hRun, hE2E *obs.Histogram
 }
 
 // errDraining marks rejections caused by a shutdown in progress.
@@ -198,9 +205,10 @@ func New(cfg Config) (*Server, error) {
 		rt:      rt,
 		baseCtx: ctx,
 		cancel:  cancel,
-		jobs:    make(map[string]*Job),
-		tenants: make(map[string]*tenantAccount),
-		drained: make(chan struct{}),
+		jobs:     make(map[string]*Job),
+		tenants:  make(map[string]*tenantAccount),
+		drained:  make(chan struct{}),
+		queuedAt: make(map[string]time.Time),
 
 		mAdmitted:    m.Counter("serve.queue.admitted"),
 		mRejected:    m.Counter("serve.queue.rejected"),
@@ -217,6 +225,10 @@ func New(cfg Config) (*Server, error) {
 		gQueueDepth:  m.Gauge("serve.queue.depth"),
 		gRunning:     m.Gauge("serve.jobs.running"),
 		gTenants:     m.Gauge("serve.tenants"),
+		gOldestAge:   m.Gauge("serve.queue.oldest_age_seconds"),
+		hQueueWait:   m.Histogram("serve.job.queue_wait_seconds"),
+		hRun:         m.Histogram("serve.job.run_seconds"),
+		hE2E:         m.Histogram("serve.job.e2e_seconds"),
 	}
 	if cfg.EvalStore != "" {
 		st, err := evalstore.Open(cfg.EvalStore, evalstore.Options{Metrics: m})
@@ -245,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 			cancel()
 			return nil, err
 		}
+		s.startJobSpan(job, true)
 		s.enqueueLocked(job)
 		s.mResumed.Inc()
 		s.cfg.Logf("serve: resuming job %s (%d scenarios)", job.ID, job.Spec.Scenarios)
@@ -415,8 +428,63 @@ func (s *Server) ckptPath(id string) string {
 // jobs.
 func (s *Server) enqueueLocked(job *Job) {
 	s.queued++
+	s.queuedAt[job.ID] = job.admittedAt
 	s.gQueueDepth.Add(1)
 	s.queue <- job
+}
+
+// startJobSpan opens the job's trace span at admission time. The span is
+// the job's trace identity: runJob parents the pool → scenario →
+// strategy_run tree under it, so every admitted job is exactly one span
+// tree in the trace. Without a tracer the span is 0 and every downstream
+// call is a no-op.
+func (s *Server) startJobSpan(job *Job, resumed bool) {
+	job.admittedAt = time.Now()
+	job.span = s.rt.Tracer().StartSpan(0, "job",
+		obs.Str("job", job.ID),
+		obs.Str("tenant", job.Tenant),
+		obs.Int("scenarios", int64(job.Spec.Scenarios)),
+		obs.Bool("resumed", resumed),
+	)
+	job.spanOpen = job.span != 0
+}
+
+// endJobSpan closes the job's span with a terminal status and records the
+// SLO latency histograms. Jobs that never reached a worker (a drain closing
+// still-queued spans) skip the histograms: they measured nothing.
+func (s *Server) endJobSpan(job *Job, status string, extra ...obs.Attr) {
+	now := time.Now()
+	if !job.dequeuedAt.IsZero() {
+		s.hRun.Observe(now.Sub(job.dequeuedAt).Seconds())
+		s.hE2E.Observe(now.Sub(job.admittedAt).Seconds())
+	}
+	if !job.spanOpen {
+		return
+	}
+	job.spanOpen = false
+	attrs := make([]obs.Attr, 0, len(extra)+1)
+	attrs = append(attrs, obs.Str("status", status))
+	attrs = append(attrs, extra...)
+	s.rt.Tracer().EndSpan(job.span, attrs...)
+}
+
+// syncScrapeGauges refreshes gauges that are point-in-time reads rather
+// than increment streams — the age of the oldest queued job and the eval
+// store's index/segment sizes — so the admission and execution hot paths
+// never touch them. Called from GET /metrics and /healthz.
+func (s *Server) syncScrapeGauges(now time.Time) {
+	var oldest time.Duration
+	s.mu.Lock()
+	for _, t0 := range s.queuedAt {
+		if age := now.Sub(t0); age > oldest {
+			oldest = age
+		}
+	}
+	s.mu.Unlock()
+	s.gOldestAge.Set(int64(oldest.Seconds()))
+	if s.store != nil {
+		s.store.SyncGauges()
+	}
 }
 
 // RejectReason says why an admission was refused.
@@ -479,6 +547,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, RejectReason, error) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.mAdmitted.Inc()
+	s.startJobSpan(job, false)
 	s.enqueueLocked(job)
 	return job, RejectNone, nil
 }
@@ -538,6 +607,7 @@ func (s *Server) worker() {
 			}
 			s.mu.Lock()
 			s.queued--
+			delete(s.queuedAt, job.ID)
 			s.mu.Unlock()
 			s.gQueueDepth.Add(-1)
 			s.runJob(job)
@@ -552,6 +622,11 @@ func (s *Server) worker() {
 func (s *Server) runJob(job *Job) {
 	s.gRunning.Add(1)
 	defer s.gRunning.Add(-1)
+	job.dequeuedAt = time.Now()
+	if wait := job.dequeuedAt.Sub(job.admittedAt); wait >= 0 {
+		s.hQueueWait.Observe(wait.Seconds())
+		s.rt.Tracer().Event(job.span, "dequeue", obs.Float("queue_wait_seconds", wait.Seconds()))
+	}
 	job.setState(StateRunning)
 	s.persist(job)
 
@@ -561,6 +636,11 @@ func (s *Server) runJob(job *Job) {
 		var cancel context.CancelFunc
 		jctx, cancel = context.WithTimeout(jctx, d)
 		defer cancel()
+	}
+	if job.span != 0 {
+		// Parent the pool's span tree under the job span, giving the trace
+		// one root per admitted job.
+		jctx = obs.ContextWithSpan(jctx, job.span)
 	}
 
 	attempts := s.cfg.Retry.Attempts()
@@ -649,6 +729,10 @@ func (s *Server) finishDone(job *Job, p *bench.Pool) {
 	s.chargeTenant(job.Tenant, cost)
 	s.persist(job)
 	s.mDone.Inc()
+	s.endJobSpan(job, "done",
+		obs.Int("records", int64(len(p.Records))),
+		obs.Float("cost", cost),
+	)
 	s.cfg.Logf("serve: job %s done (%d records, cost %.1f)", job.ID, len(p.Records), cost)
 }
 
@@ -656,14 +740,16 @@ func (s *Server) finishFailed(job *Job, err error) {
 	if err == nil {
 		err = errors.New("serve: job failed without an error")
 	}
+	category := core.Classify(err)
 	job.mu.Lock()
 	job.state = StateFailed
 	job.err = err.Error()
-	job.category = core.Classify(err)
+	job.category = category
 	job.mu.Unlock()
 	s.persist(job)
 	s.mFailed.Inc()
-	s.cfg.Logf("serve: job %s failed (%s): %v", job.ID, job.category, err)
+	s.endJobSpan(job, "failed", obs.Str("category", string(category)))
+	s.cfg.Logf("serve: job %s failed (%s): %v", job.ID, category, err)
 }
 
 // finishInterrupted types a job cut short by cancellation: a drain leaves
@@ -673,6 +759,7 @@ func (s *Server) finishInterrupted(job *Job, jctx context.Context, err error) {
 		job.setState(StateDrained)
 		s.persist(job)
 		s.mDrained.Inc()
+		s.endJobSpan(job, "drained")
 		s.cfg.Logf("serve: job %s drained (checkpoint retained)", job.ID)
 		return
 	}
@@ -758,6 +845,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
+	// Workers are quiesced (wg.Wait above orders their span closes before
+	// this sweep), so the only spans still open belong to jobs that never
+	// reached a worker. Close them with their persisted state, giving every
+	// admitted job exactly one complete span tree in the trace.
+	s.mu.Lock()
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && j.spanOpen {
+			j.spanOpen = false
+			s.rt.Tracer().EndSpan(j.span, obs.Str("status", string(j.State())))
+		}
+	}
+	s.mu.Unlock()
 	if s.httpSrv != nil {
 		_ = s.httpSrv.Close()
 	}

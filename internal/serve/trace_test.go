@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/obs"
+	"github.com/declarative-fs/dfs/internal/tracereport"
+)
+
+// TestTracedJobsProduceCompleteSpanTrees is the end-to-end telemetry check:
+// a daemon tracing into a rotating sink runs several real jobs, and after a
+// graceful drain the rotated file set must reconstruct exactly one complete
+// job → pool → scenario → strategy_run span tree per admitted job, with the
+// trace/counter cross-check clean. The rotation threshold is small enough
+// that the trace provably spans multiple files, so the test also covers
+// reassembly across rotation boundaries. Run under -race this doubles as
+// the data-race check on the span bookkeeping in the job lifecycle.
+func TestTracedJobsProduceCompleteSpanTrees(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	// keep is generous: dropping rotated files here would sever span trees
+	// and turn the completeness check into a false alarm. Retention loss is
+	// rotate_test.go's subject, not this test's.
+	sink, err := obs.NewRotatingFileSink(tracePath, 16<<10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(sink)
+	tracer.Event(0, obs.EpochEvent, obs.Str("daemon", "test"))
+	rt := obs.New(obs.WithTracer(tracer))
+
+	srv := newTestServer(t, Config{Workers: 2, PoolWorkers: 2, Obs: rt})
+
+	specs := []JobSpec{
+		{Scenarios: 2, Seed: 3, MaxEvals: 10, Datasets: []string{"COMPAS"}, Tenant: "alice"},
+		{Scenarios: 2, Seed: 4, MaxEvals: 10, Datasets: []string{"COMPAS"}, Tenant: "alice"},
+		{Scenarios: 2, Seed: 5, MaxEvals: 10, Datasets: []string{"COMPAS"}, Tenant: "bob"},
+	}
+	var jobs []*Job
+	for i, spec := range specs {
+		job, reason, err := srv.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v (%s)", i, err, reason)
+		}
+		jobs = append(jobs, job)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, job := range jobs {
+		for job.State() != StateDone {
+			if st := job.State(); st.terminal() {
+				t.Fatalf("job %s reached %s, want %s", job.ID, st, StateDone)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished (state %s)", job.ID, job.State())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Drain quiesces the workers and closes any span still open, then the
+	// metrics snapshot is taken so the counter cross-check sees the same
+	// quiesced state the trace tail describes.
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Tracer().Err(); err != nil {
+		t.Fatalf("trace sink latched an error: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := rt.Metrics().Snapshot()
+
+	files := obs.RotatedFiles(tracePath)
+	if len(files) < 2 {
+		t.Fatalf("trace never rotated (files %v); threshold too high for this workload", files)
+	}
+	trace, err := tracereport.Load(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.MalformedLines != 0 || trace.DanglingRecords != 0 {
+		t.Fatalf("trace reassembly: %d malformed lines, %d dangling records, want 0/0",
+			trace.MalformedLines, trace.DanglingRecords)
+	}
+
+	report := tracereport.Build(trace, tracereport.Options{Metrics: &snap})
+	if len(report.Violations) != 0 {
+		t.Fatalf("invariant violations:\n%v", report.Violations)
+	}
+	if len(report.Jobs) != len(jobs) {
+		t.Fatalf("trace holds %d job trees, want %d", len(report.Jobs), len(jobs))
+	}
+	seen := make(map[string]bool)
+	for _, js := range report.Jobs {
+		if !js.Complete {
+			t.Fatalf("job %s span tree incomplete", js.ID)
+		}
+		if js.Status != "done" {
+			t.Fatalf("job %s traced status %q, want done", js.ID, js.Status)
+		}
+		if js.QueueWaitS < 0 || js.RunS <= 0 || js.E2ES < js.RunS {
+			t.Fatalf("job %s implausible latencies: queue %v run %v e2e %v",
+				js.ID, js.QueueWaitS, js.RunS, js.E2ES)
+		}
+		seen[js.ID] = true
+	}
+	for _, job := range jobs {
+		if !seen[job.ID] {
+			t.Fatalf("admitted job %s missing from trace (have %v)", job.ID, seen)
+		}
+	}
+	if report.Memo.EvalEvents == 0 {
+		t.Fatal("no eval events in trace; pool instrumentation missing")
+	}
+}

@@ -1,0 +1,461 @@
+package tracereport
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/declarative-fs/dfs/internal/obs"
+)
+
+// Options tune Build.
+type Options struct {
+	// TopN bounds the slowest-runs and critical-path listings (default 10).
+	TopN int
+	// Metrics, when non-nil, is a /metrics JSON snapshot scraped from the
+	// same process that wrote the trace's last epoch; Build cross-checks
+	// span and event counts against its counters.
+	Metrics *obs.Snapshot
+}
+
+// JobSummary is one serve job span.
+type JobSummary struct {
+	ID         string  `json:"id"`
+	Tenant     string  `json:"tenant,omitempty"`
+	Epoch      int     `json:"epoch"`
+	Status     string  `json:"status"`
+	QueueWaitS float64 `json:"queue_wait_s"`
+	RunS       float64 `json:"run_s"`
+	E2ES       float64 `json:"e2e_s"`
+	Complete   bool    `json:"complete"`
+}
+
+// TenantLatency is the exact end-to-end latency distribution of one
+// tenant's completed jobs.
+type TenantLatency struct {
+	Tenant string  `json:"tenant"`
+	Jobs   int     `json:"jobs"`
+	P50S   float64 `json:"p50_s"`
+	P95S   float64 `json:"p95_s"`
+	P99S   float64 `json:"p99_s"`
+}
+
+// ScenarioCritical is one scenario with its critical path: the slowest
+// strategy run and the fraction of the scenario it accounts for.
+type ScenarioCritical struct {
+	Dataset   string  `json:"dataset"`
+	Scenario  int64   `json:"scenario"`
+	Seconds   float64 `json:"seconds"`
+	Critical  string  `json:"critical_strategy"`
+	CriticalS float64 `json:"critical_s"`
+	Fraction  float64 `json:"fraction"`
+}
+
+// RunSummary is one strategy run.
+type RunSummary struct {
+	Strategy string  `json:"strategy"`
+	Dataset  string  `json:"dataset,omitempty"`
+	Status   string  `json:"status"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// MemoBreakdown aggregates the per-evaluation memo outcome events.
+type MemoBreakdown struct {
+	EvalEvents int64   `json:"eval_events"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Off        int64   `json:"off"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// SLOQuantiles is the bucket-interpolated latency summary of one metrics
+// histogram (present only when a metrics snapshot was supplied).
+type SLOQuantiles struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Report is the analysis of a trace file set.
+type Report struct {
+	Files           []string           `json:"files"`
+	Epochs          int                `json:"epochs"`
+	Spans           int                `json:"spans"`
+	Events          int                `json:"events"`
+	MalformedLines  int                `json:"malformed_lines,omitempty"`
+	DanglingRecords int                `json:"dangling_records,omitempty"`
+	Jobs            []JobSummary       `json:"jobs,omitempty"`
+	Tenants         []TenantLatency    `json:"tenant_latency,omitempty"`
+	Scenarios       []ScenarioCritical `json:"scenario_critical_paths,omitempty"`
+	SlowestRuns     []RunSummary       `json:"slowest_strategy_runs,omitempty"`
+	Memo            MemoBreakdown      `json:"memo"`
+	SLOs            []SLOQuantiles     `json:"slo_histograms,omitempty"`
+	// Notes are non-fatal observations (e.g. cross-check skipped because
+	// rotation dropped the head of the epoch).
+	Notes []string `json:"notes,omitempty"`
+	// Violations are invariant failures: incomplete span trees in the last
+	// epoch, duplicate job spans, or span counts disagreeing with counters.
+	Violations []string `json:"violations,omitempty"`
+}
+
+const secondsPerNano = 1e-9
+
+// Build derives the report from a loaded trace.
+func Build(t *Trace, opts Options) *Report {
+	topN := opts.TopN
+	if topN <= 0 {
+		topN = 10
+	}
+	r := &Report{
+		Files:           t.Files,
+		Epochs:          t.Epochs,
+		Spans:           len(t.Spans),
+		Events:          t.EventCount,
+		MalformedLines:  t.MalformedLines,
+		DanglingRecords: t.DanglingRecords,
+	}
+	last := t.LastEpoch()
+
+	// Jobs, per-tenant latency.
+	type epochJob struct {
+		epoch int
+		id    string
+	}
+	jobsPerEpochID := make(map[epochJob]int)
+	tenantE2E := make(map[string][]float64)
+	for _, s := range t.ByName("job") {
+		js := JobSummary{
+			ID:       s.Str("job"),
+			Tenant:   s.Str("tenant"),
+			Epoch:    s.Epoch,
+			Status:   s.Status(),
+			E2ES:     s.Duration().Seconds(),
+			Complete: s.Complete(),
+		}
+		for _, ev := range s.Events {
+			if ev.Name == "dequeue" {
+				if w, ok := ev.Attrs["queue_wait_seconds"].(float64); ok {
+					js.QueueWaitS = w
+				}
+				if s.Ended() {
+					js.RunS = float64(s.End-ev.TS) * secondsPerNano
+				}
+			}
+		}
+		r.Jobs = append(r.Jobs, js)
+		jobsPerEpochID[epochJob{s.Epoch, js.ID}]++
+		if js.Complete && js.Status == "done" {
+			tenant := js.Tenant
+			if tenant == "" {
+				tenant = "(none)"
+			}
+			tenantE2E[tenant] = append(tenantE2E[tenant], js.E2ES)
+		}
+	}
+	for key, n := range jobsPerEpochID {
+		if n > 1 {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("job %s has %d span trees in epoch %d (want exactly 1)", key.id, n, key.epoch))
+		}
+	}
+	for tenant, lats := range tenantE2E {
+		sort.Float64s(lats)
+		r.Tenants = append(r.Tenants, TenantLatency{
+			Tenant: tenant,
+			Jobs:   len(lats),
+			P50S:   exactQuantile(lats, 0.50),
+			P95S:   exactQuantile(lats, 0.95),
+			P99S:   exactQuantile(lats, 0.99),
+		})
+	}
+	sort.Slice(r.Tenants, func(i, j int) bool { return r.Tenants[i].Tenant < r.Tenants[j].Tenant })
+
+	// Scenario critical paths.
+	for _, s := range t.ByName("scenario") {
+		if !s.Ended() {
+			continue
+		}
+		sc := ScenarioCritical{
+			Dataset: s.Str("dataset"),
+			Seconds: s.Duration().Seconds(),
+		}
+		if id, ok := s.Attr("scenario_id").(float64); ok {
+			sc.Scenario = int64(id)
+		}
+		for _, c := range s.Children {
+			if c.Name != "strategy_run" || !c.Ended() {
+				continue
+			}
+			if d := c.Duration().Seconds(); d > sc.CriticalS {
+				sc.CriticalS = d
+				sc.Critical = c.Str("strategy")
+			}
+		}
+		if sc.Seconds > 0 {
+			sc.Fraction = sc.CriticalS / sc.Seconds
+		}
+		r.Scenarios = append(r.Scenarios, sc)
+	}
+	sort.Slice(r.Scenarios, func(i, j int) bool { return r.Scenarios[i].Seconds > r.Scenarios[j].Seconds })
+	if len(r.Scenarios) > topN {
+		r.Scenarios = r.Scenarios[:topN]
+	}
+
+	// Slowest strategy runs and memo breakdown.
+	runs := t.ByName("strategy_run")
+	var slowest []RunSummary
+	for _, s := range runs {
+		if !s.Ended() {
+			continue
+		}
+		rs := RunSummary{
+			Strategy: s.Str("strategy"),
+			Status:   s.Status(),
+			Seconds:  s.Duration().Seconds(),
+		}
+		if s.Parent != nil {
+			rs.Dataset = s.Parent.Str("dataset")
+		}
+		slowest = append(slowest, rs)
+		for _, ev := range s.Events {
+			if ev.Name != "eval" {
+				continue
+			}
+			r.Memo.EvalEvents++
+			switch ev.Attrs["memo"] {
+			case "hit":
+				r.Memo.Hits++
+			case "miss":
+				r.Memo.Misses++
+			default:
+				r.Memo.Off++
+			}
+		}
+	}
+	if r.Memo.EvalEvents > 0 {
+		r.Memo.HitRate = float64(r.Memo.Hits) / float64(r.Memo.EvalEvents)
+	}
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].Seconds > slowest[j].Seconds })
+	if len(slowest) > topN {
+		slowest = slowest[:topN]
+	}
+	r.SlowestRuns = slowest
+
+	// Completeness: every root span tree of the last epoch must have ended.
+	// Earlier epochs may legitimately be truncated by rotation or a crash.
+	for _, root := range t.Roots {
+		if root.Epoch != last || root.Complete() {
+			continue
+		}
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"incomplete span tree in last epoch: %s id=%d (%s)", root.Name, root.ID, incompleteLeaf(root)))
+	}
+
+	if opts.Metrics != nil {
+		r.crossCheck(t, *opts.Metrics)
+		r.sloQuantiles(*opts.Metrics)
+	}
+	return r
+}
+
+// incompleteLeaf names the deepest incomplete span under root, for
+// diagnostics. An incomplete span is either unended itself or has an
+// incomplete child, so descending through incomplete children terminates at
+// the most specific culprit.
+func incompleteLeaf(root *Span) string {
+	cur := root
+	for {
+		var next *Span
+		for _, c := range cur.Children {
+			if !c.Complete() {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	return fmt.Sprintf("deepest unended: %s id=%d", cur.Name, cur.ID)
+}
+
+// crossCheck compares last-epoch span and event counts against the counters
+// of a /metrics snapshot from the same process. Counters cover the whole
+// process lifetime, so the check only runs when the trace's last epoch is
+// fully retained (no dangling records).
+func (r *Report) crossCheck(t *Trace, snap obs.Snapshot) {
+	if t.DanglingRecords > 0 {
+		r.Notes = append(r.Notes, "metrics cross-check skipped: rotation dropped part of the trace")
+		return
+	}
+	last := t.LastEpoch()
+	count := func(name, status string) int64 {
+		var n int64
+		for _, s := range t.Spans {
+			if s.Epoch != last || s.Name != name {
+				continue
+			}
+			if status != "" && s.Status() != status {
+				continue
+			}
+			n++
+		}
+		return n
+	}
+	check := func(counter string, got int64, what string) {
+		want, ok := snap.Counters[counter]
+		if !ok {
+			return
+		}
+		if got != want {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"%s: trace has %d, counter %s says %d", what, got, counter, want))
+		}
+	}
+	check("strategy.runs", count("strategy_run", ""), "strategy_run spans")
+	var executed int64
+	for _, s := range t.Spans {
+		if s.Epoch == last && s.Name == "scenario" && s.Ended() && s.Status() != "canceled" {
+			executed++
+		}
+	}
+	check("pool.scenarios_executed", executed, "executed scenario spans")
+	var hits, trainedEv int64
+	for _, s := range t.Spans {
+		if s.Epoch != last || s.Name != "strategy_run" {
+			continue
+		}
+		for _, ev := range s.Events {
+			if ev.Name != "eval" {
+				continue
+			}
+			if ev.Attrs["memo"] == "hit" {
+				hits++
+			} else {
+				trainedEv++
+			}
+		}
+	}
+	check("evals.replayed", hits, "memo-hit eval events")
+	check("evals.trained", trainedEv, "trained eval events")
+	if _, ok := snap.Counters["serve.queue.admitted"]; ok {
+		check("serve.job.done", count("job", "done"), "done job spans")
+		check("serve.job.failed", count("job", "failed"), "failed job spans")
+		check("serve.job.drained", count("job", "drained"), "drained job spans")
+		total := count("job", "")
+		want := snap.Counters["serve.queue.admitted"] + snap.Counters["serve.job.resumed"]
+		if total != want {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"job spans: trace has %d, admitted+resumed says %d", total, want))
+		}
+	}
+}
+
+// sloQuantiles summarizes the serve latency histograms via bucket
+// interpolation (obs.HistogramSnapshot.Quantile).
+func (r *Report) sloQuantiles(snap obs.Snapshot) {
+	var names []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "serve.job.") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		s := SLOQuantiles{Name: name, Count: h.Count}
+		if h.Count > 0 {
+			s.P50, s.P95, s.P99, s.Max = h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max
+		}
+		r.SLOs = append(r.SLOs, s)
+	}
+}
+
+// exactQuantile interpolates the q-quantile of a sorted sample.
+func exactQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// WriteText renders the report for a terminal.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d file(s), %d epoch(s), %d spans, %d events\n",
+		len(r.Files), r.Epochs, r.Spans, r.Events)
+	if r.MalformedLines > 0 || r.DanglingRecords > 0 {
+		fmt.Fprintf(w, "  %d malformed line(s), %d dangling record(s)\n",
+			r.MalformedLines, r.DanglingRecords)
+	}
+	if len(r.Jobs) > 0 {
+		fmt.Fprintf(w, "\njobs (%d):\n", len(r.Jobs))
+		for _, j := range r.Jobs {
+			fmt.Fprintf(w, "  %-12s tenant=%-10s status=%-8s wait=%.3fs run=%.3fs e2e=%.3fs\n",
+				j.ID, orDash(j.Tenant), j.Status, j.QueueWaitS, j.RunS, j.E2ES)
+		}
+	}
+	if len(r.Tenants) > 0 {
+		fmt.Fprintf(w, "\nper-tenant e2e latency (done jobs):\n")
+		for _, tl := range r.Tenants {
+			fmt.Fprintf(w, "  %-10s jobs=%-4d p50=%.3fs p95=%.3fs p99=%.3fs\n",
+				tl.Tenant, tl.Jobs, tl.P50S, tl.P95S, tl.P99S)
+		}
+	}
+	if len(r.Scenarios) > 0 {
+		fmt.Fprintf(w, "\nscenario critical paths (top %d by duration):\n", len(r.Scenarios))
+		for _, sc := range r.Scenarios {
+			fmt.Fprintf(w, "  scenario=%-4d %-24s %.3fs  critical=%s (%.3fs, %.0f%%)\n",
+				sc.Scenario, sc.Dataset, sc.Seconds, orDash(sc.Critical), sc.CriticalS, 100*sc.Fraction)
+		}
+	}
+	if len(r.SlowestRuns) > 0 {
+		fmt.Fprintf(w, "\nslowest strategy runs (top %d):\n", len(r.SlowestRuns))
+		for _, rs := range r.SlowestRuns {
+			fmt.Fprintf(w, "  %-24s %-24s %.3fs  status=%s\n", rs.Strategy, orDash(rs.Dataset), rs.Seconds, rs.Status)
+		}
+	}
+	fmt.Fprintf(w, "\nmemo: %d evals, %d hits, %d misses, %d unshared (hit rate %.1f%%)\n",
+		r.Memo.EvalEvents, r.Memo.Hits, r.Memo.Misses, r.Memo.Off, 100*r.Memo.HitRate)
+	if len(r.SLOs) > 0 {
+		fmt.Fprintf(w, "\nSLO histograms (bucket-interpolated):\n")
+		for _, s := range r.SLOs {
+			if s.Count == 0 {
+				fmt.Fprintf(w, "  %-28s (no samples)\n", s.Name)
+				continue
+			}
+			fmt.Fprintf(w, "  %-28s n=%-5d p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
+				s.Name, s.Count, s.P50, s.P95, s.P99, s.Max)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "\nnote: %s\n", n)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(w, "\ninvariants: ok\n")
+		return
+	}
+	fmt.Fprintf(w, "\nINVARIANT VIOLATIONS (%d):\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  - %s\n", v)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+// Package tracereport reads the JSONL span traces emitted by internal/obs —
+// including size-rotated file sets and multi-epoch traces from restarted
+// daemons — reconstructs the span trees (job → pool → scenario →
+// strategy_run), and derives the operator-facing report behind
+// cmd/obsreport: per-scenario critical paths, slowest strategy runs, memo
+// hit-rate breakdown, per-tenant job latency quantiles, and a cross-check of
+// span counts against a /metrics snapshot.
+package tracereport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/obs"
+)
+
+// Event is one point-in-time record, either bound to a span or (span 0) a
+// trace-level annotation such as the epoch marker.
+type Event struct {
+	Epoch int
+	Name  string
+	TS    int64
+	Attrs map[string]any
+}
+
+// Span is one reconstructed span. Start/End are nanoseconds on the emitting
+// tracer's monotonic clock; End is -1 while the span is open (a crash, or a
+// trace scraped mid-run).
+type Span struct {
+	Epoch      int
+	ID         uint64
+	Name       string
+	Start      int64
+	End        int64
+	StartAttrs map[string]any
+	EndAttrs   map[string]any
+	Parent     *Span
+	Children   []*Span
+	Events     []Event
+}
+
+// Ended reports whether the span's end record was seen.
+func (s *Span) Ended() bool { return s.End >= 0 }
+
+// Duration is the span's wall time (0 while open).
+func (s *Span) Duration() time.Duration {
+	if !s.Ended() {
+		return 0
+	}
+	return time.Duration(s.End - s.Start)
+}
+
+// Attr returns an attribute, preferring the end record over the start.
+func (s *Span) Attr(key string) any {
+	if v, ok := s.EndAttrs[key]; ok {
+		return v
+	}
+	if v, ok := s.StartAttrs[key]; ok {
+		return v
+	}
+	return nil
+}
+
+// Str returns a string attribute ("" when absent or not a string).
+func (s *Span) Str(key string) string {
+	v, _ := s.Attr(key).(string)
+	return v
+}
+
+// Status is the conventional "status" end attribute.
+func (s *Span) Status() string { return s.Str("status") }
+
+// Complete reports whether the span and its entire subtree ended.
+func (s *Span) Complete() bool {
+	if !s.Ended() {
+		return false
+	}
+	for _, c := range s.Children {
+		if !c.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// Trace is the decoded content of one or more trace files.
+type Trace struct {
+	Files []string
+	// Epochs counts distinct tracer lifetimes seen: a new epoch starts at
+	// each obs.EpochEvent marker, or implicitly when a span ID restarts
+	// (every tracer numbers from 1, so a reused ID means a new process
+	// appended to the same rotated set).
+	Epochs int
+	Spans  []*Span // in start order
+	Roots  []*Span // spans with no (retained) parent
+	// TraceEvents are span-0 annotations (epoch markers etc.).
+	TraceEvents []Event
+	// EventCount is the total number of event records, span-bound included.
+	EventCount int
+	// MalformedLines counts undecodable lines (e.g. a torn tail after
+	// kill -9); DanglingRecords counts ends/events whose span was never
+	// started in the retained files (rotation dropped the head).
+	MalformedLines  int
+	DanglingRecords int
+}
+
+// LastEpoch is the index of the newest epoch (-1 on an empty trace).
+func (t *Trace) LastEpoch() int { return t.Epochs - 1 }
+
+// ByName returns all spans with the given name, in start order.
+func (t *Trace) ByName(name string) []*Span {
+	var out []*Span
+	for _, s := range t.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Load reads trace files in the order given (oldest first — the order
+// obs.RotatedFiles returns) and reconstructs the span trees.
+func Load(files ...string) (*Trace, error) {
+	st := &loadState{
+		trace: &Trace{Files: files},
+		open:  make(map[uint64]*Span),
+		seen:  make(map[uint64]bool),
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("tracereport: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			st.line(sc.Bytes())
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("tracereport: read %s: %w", path, err)
+		}
+	}
+	if st.any {
+		st.trace.Epochs = st.epoch + 1
+	}
+	return st.trace, nil
+}
+
+type loadState struct {
+	trace *Trace
+	open  map[uint64]*Span // started, not yet ended, current epoch
+	seen  map[uint64]bool  // every ID started in the current epoch
+	epoch int
+	any   bool // any record decoded at all
+	body  bool // any non-marker record decoded in the current epoch
+}
+
+func (st *loadState) bumpEpoch() {
+	st.epoch++
+	st.open = make(map[uint64]*Span)
+	st.seen = make(map[uint64]bool)
+	st.body = false
+}
+
+// recordFields are the reserved keys of a trace record; everything else on
+// the line is an attribute.
+var recordFields = map[string]bool{"t": true, "id": true, "span": true, "parent": true, "name": true, "ts": true}
+
+func attrsOf(m map[string]any) map[string]any {
+	attrs := make(map[string]any, len(m))
+	for k, v := range m {
+		if !recordFields[k] {
+			attrs[k] = v
+		}
+	}
+	return attrs
+}
+
+func u64(v any) uint64 {
+	f, _ := v.(float64)
+	if f < 0 {
+		return 0
+	}
+	return uint64(f)
+}
+
+func i64(v any) int64 {
+	f, _ := v.(float64)
+	return int64(f)
+}
+
+func (st *loadState) line(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		st.trace.MalformedLines++
+		return
+	}
+	typ, _ := m["t"].(string)
+	switch typ {
+	case "start":
+		st.any = true
+		id := u64(m["id"])
+		if id == 0 {
+			st.trace.MalformedLines++
+			return
+		}
+		if st.seen[id] {
+			// A tracer numbers spans from 1: a repeated ID means a new
+			// process appended to this file set without an epoch marker.
+			st.bumpEpoch()
+		}
+		st.body = true
+		name, _ := m["name"].(string)
+		sp := &Span{
+			Epoch:      st.epoch,
+			ID:         id,
+			Name:       name,
+			Start:      i64(m["ts"]),
+			End:        -1,
+			StartAttrs: attrsOf(m),
+		}
+		if pid := u64(m["parent"]); pid != 0 {
+			if p := st.open[pid]; p != nil {
+				sp.Parent = p
+				p.Children = append(p.Children, sp)
+			} else {
+				st.trace.DanglingRecords++
+			}
+		}
+		if sp.Parent == nil {
+			st.trace.Roots = append(st.trace.Roots, sp)
+		}
+		st.open[id] = sp
+		st.seen[id] = true
+		st.trace.Spans = append(st.trace.Spans, sp)
+	case "end":
+		st.any = true
+		st.body = true
+		sp := st.open[u64(m["id"])]
+		if sp == nil {
+			st.trace.DanglingRecords++
+			return
+		}
+		sp.End = i64(m["ts"])
+		sp.EndAttrs = attrsOf(m)
+		delete(st.open, sp.ID)
+	case "event":
+		st.any = true
+		st.trace.EventCount++
+		name, _ := m["name"].(string)
+		span := u64(m["span"])
+		if span == 0 {
+			if name == obs.EpochEvent && st.body {
+				st.bumpEpoch()
+			}
+			st.trace.TraceEvents = append(st.trace.TraceEvents, Event{
+				Epoch: st.epoch, Name: name, TS: i64(m["ts"]), Attrs: attrsOf(m),
+			})
+			return
+		}
+		st.body = true
+		sp := st.open[span]
+		if sp == nil {
+			st.trace.DanglingRecords++
+			return
+		}
+		sp.Events = append(sp.Events, Event{
+			Epoch: sp.Epoch, Name: name, TS: i64(m["ts"]), Attrs: attrsOf(m),
+		})
+	default:
+		st.trace.MalformedLines++
+	}
+}

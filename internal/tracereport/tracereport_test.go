@@ -1,0 +1,300 @@
+package tracereport
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/declarative-fs/dfs/internal/obs"
+)
+
+// bufSink collects emitted trace lines in memory. Emit must copy: the
+// tracer reuses its buffer between records.
+type bufSink struct{ buf bytes.Buffer }
+
+func (b *bufSink) Emit(line []byte) error {
+	_, err := b.buf.Write(line)
+	return err
+}
+
+// writeTrace dumps a sink to a file under dir and returns the path.
+func writeTrace(t *testing.T, dir, name string, sinks ...*bufSink) string {
+	t.Helper()
+	var all bytes.Buffer
+	for _, s := range sinks {
+		all.Write(s.buf.Bytes())
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, all.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// emitJobTree writes one complete job → pool → scenario → strategy_run tree
+// (two scenarios, one run each, one eval event per run) through tr.
+func emitJobTree(tr *obs.Tracer, id, tenant, status string, memo string) {
+	job := tr.StartSpan(0, "job", obs.Str("job", id), obs.Str("tenant", tenant), obs.Int("scenarios", 2))
+	tr.Event(job, "dequeue", obs.Float("queue_wait_seconds", 0.25))
+	pool := tr.StartSpan(job, "pool", obs.Int("scenarios", 2))
+	for sc := int64(0); sc < 2; sc++ {
+		s := tr.StartSpan(pool, "scenario", obs.Int("scenario", sc), obs.Str("dataset", "COMPAS"))
+		run := tr.StartSpan(s, "strategy_run", obs.Str("strategy", "SFS(NR)"))
+		tr.Event(run, "eval", obs.Str("memo", memo))
+		tr.EndSpan(run, obs.Str("status", "ok"))
+		tr.EndSpan(s, obs.Str("status", "ok"))
+	}
+	tr.EndSpan(pool)
+	tr.EndSpan(job, obs.Str("status", status))
+}
+
+func TestLoadAndBuildCleanTrace(t *testing.T) {
+	sink := &bufSink{}
+	tr := obs.NewTracer(sink)
+	tr.Event(0, obs.EpochEvent, obs.Str("daemon", "test"))
+	emitJobTree(tr, "job-000000", "alice", "done", "miss")
+	emitJobTree(tr, "job-000001", "bob", "done", "hit")
+
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", sink)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Epochs != 1 {
+		t.Fatalf("epochs = %d, want 1", trace.Epochs)
+	}
+	if trace.MalformedLines != 0 || trace.DanglingRecords != 0 {
+		t.Fatalf("malformed %d / dangling %d, want 0/0", trace.MalformedLines, trace.DanglingRecords)
+	}
+	if got := len(trace.Roots); got != 2 {
+		t.Fatalf("roots = %d, want 2 job trees", got)
+	}
+
+	r := Build(trace, Options{})
+	if len(r.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", r.Violations)
+	}
+	if len(r.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(r.Jobs))
+	}
+	for _, js := range r.Jobs {
+		if !js.Complete || js.Status != "done" || js.QueueWaitS != 0.25 {
+			t.Fatalf("job summary off: %+v", js)
+		}
+	}
+	if r.Memo.EvalEvents != 4 || r.Memo.Hits != 2 || r.Memo.Misses != 2 || r.Memo.HitRate != 0.5 {
+		t.Fatalf("memo breakdown off: %+v", r.Memo)
+	}
+	if len(r.Scenarios) != 4 {
+		t.Fatalf("scenario critical paths = %d, want 4", len(r.Scenarios))
+	}
+	if len(r.Tenants) != 2 {
+		t.Fatalf("tenant latencies = %d, want 2 (alice, bob)", len(r.Tenants))
+	}
+}
+
+// TestMultiEpochRestart simulates a daemon restart appending to the same
+// file: span IDs restart from 1 in the second process, so the loader must
+// split epochs at the marker instead of conflating the reused IDs.
+func TestMultiEpochRestart(t *testing.T) {
+	first := &bufSink{}
+	tr1 := obs.NewTracer(first)
+	tr1.Event(0, obs.EpochEvent, obs.Str("daemon", "test"))
+	emitJobTree(tr1, "job-000000", "alice", "done", "off")
+
+	second := &bufSink{}
+	tr2 := obs.NewTracer(second)
+	tr2.Event(0, obs.EpochEvent, obs.Str("daemon", "test"))
+	emitJobTree(tr2, "job-000000", "alice", "done", "off") // resumed: same ID, new epoch
+
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", first, second)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2", trace.Epochs)
+	}
+	if trace.DanglingRecords != 0 {
+		t.Fatalf("dangling = %d, want 0 (epoch split failed)", trace.DanglingRecords)
+	}
+	r := Build(trace, Options{})
+	// Same job ID in different epochs is a restart, not a duplicate.
+	if len(r.Violations) != 0 {
+		t.Fatalf("restart misread as violation: %v", r.Violations)
+	}
+	if len(r.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want one per epoch", len(r.Jobs))
+	}
+}
+
+// TestImplicitEpochOnReusedSpanID drops the marker: the loader must still
+// bump the epoch when a span ID it already saw starts again.
+func TestImplicitEpochOnReusedSpanID(t *testing.T) {
+	first, second := &bufSink{}, &bufSink{}
+	emitJobTree(obs.NewTracer(first), "job-000000", "", "done", "off")
+	emitJobTree(obs.NewTracer(second), "job-000001", "", "done", "off")
+
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", first, second)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2 (implicit bump on reused span ID)", trace.Epochs)
+	}
+	if trace.DanglingRecords != 0 {
+		t.Fatalf("dangling = %d, want 0", trace.DanglingRecords)
+	}
+}
+
+func TestIncompleteTreeInLastEpochIsViolation(t *testing.T) {
+	sink := &bufSink{}
+	tr := obs.NewTracer(sink)
+	job := tr.StartSpan(0, "job", obs.Str("job", "job-000000"))
+	pool := tr.StartSpan(job, "pool")
+	tr.EndSpan(pool)
+	// job span never ends: the daemon died mid-run.
+
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", sink)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Build(trace, Options{})
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "incomplete span tree") {
+		t.Fatalf("want one incomplete-tree violation, got %v", r.Violations)
+	}
+}
+
+func TestDuplicateJobTreeIsViolation(t *testing.T) {
+	sink := &bufSink{}
+	tr := obs.NewTracer(sink)
+	emitJobTree(tr, "job-000000", "alice", "done", "off")
+	emitJobTree(tr, "job-000000", "alice", "done", "off") // same epoch!
+
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", sink)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Build(trace, Options{})
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "span trees in epoch") {
+		t.Fatalf("want one duplicate-job violation, got %v", r.Violations)
+	}
+}
+
+// TestCrossCheckAgainstCounters feeds Build a metrics snapshot that first
+// matches the trace exactly, then disagrees, and finally arrives alongside
+// a trace whose head was rotated away (dangling records) — which must skip
+// the cross-check with a note instead of inventing violations.
+func TestCrossCheckAgainstCounters(t *testing.T) {
+	sink := &bufSink{}
+	tr := obs.NewTracer(sink)
+	tr.Event(0, obs.EpochEvent)
+	emitJobTree(tr, "job-000000", "alice", "done", "miss")
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", sink)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	match := &obs.Snapshot{Counters: map[string]int64{
+		"strategy.runs":           2,
+		"pool.scenarios_executed": 2,
+		"evals.trained":           2,
+		"evals.replayed":          0,
+		"serve.queue.admitted":    1,
+		"serve.job.resumed":       0,
+		"serve.job.done":          1,
+		"serve.job.failed":        0,
+		"serve.job.drained":       0,
+	}}
+	if r := Build(trace, Options{Metrics: match}); len(r.Violations) != 0 {
+		t.Fatalf("matching counters produced violations: %v", r.Violations)
+	}
+
+	mismatch := &obs.Snapshot{Counters: map[string]int64{"strategy.runs": 5}}
+	r := Build(trace, Options{Metrics: mismatch})
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "strategy.runs") {
+		t.Fatalf("want one strategy.runs mismatch, got %v", r.Violations)
+	}
+
+	// Sever the trace head: keep only the tail after the first span start,
+	// producing dangling end records.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	tail := bytes.Join(lines[len(lines)/2:], nil)
+	cut := filepath.Join(t.TempDir(), "cut.jsonl")
+	if err := os.WriteFile(cut, tail, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cutTrace, err := Load(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutTrace.DanglingRecords == 0 {
+		t.Fatal("expected dangling records after severing the head")
+	}
+	r = Build(cutTrace, Options{Metrics: mismatch})
+	for _, v := range r.Violations {
+		if strings.Contains(v, "counter") {
+			t.Fatalf("cross-check ran despite dangling records: %v", r.Violations)
+		}
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "cross-check") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a skipped-cross-check note, got %v", r.Notes)
+	}
+}
+
+// TestMalformedTailTolerated appends a torn line (a crash mid-write): the
+// loader must count it, not fail.
+func TestMalformedTailTolerated(t *testing.T) {
+	sink := &bufSink{}
+	tr := obs.NewTracer(sink)
+	emitJobTree(tr, "job-000000", "", "done", "off")
+	sink.buf.WriteString(`{"t":"start","id":99,"na`) // torn, no newline
+
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", sink)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.MalformedLines != 1 {
+		t.Fatalf("malformed = %d, want 1", trace.MalformedLines)
+	}
+	if len(trace.Roots) != 1 {
+		t.Fatalf("roots = %d, want the intact tree", len(trace.Roots))
+	}
+}
+
+// TestWriteTextRendersSections smoke-checks the human-readable renderer.
+func TestWriteTextRendersSections(t *testing.T) {
+	sink := &bufSink{}
+	tr := obs.NewTracer(sink)
+	emitJobTree(tr, "job-000000", "alice", "done", "hit")
+	path := writeTrace(t, t.TempDir(), "trace.jsonl", sink)
+	trace, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	Build(trace, Options{}).WriteText(&out)
+	text := out.String()
+	for _, want := range []string{"job-000000", "alice", "memo", "invariants: ok"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
