@@ -4,7 +4,7 @@ BENCH_NOTE ?=
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 GIT_MSG := $(shell git log -1 --format=%s 2>/dev/null || echo local)
 
-.PHONY: all vet build test race bench bench-compare ci dfsd
+.PHONY: all vet build test race bench bench-compare ci dfsd dfsload
 
 all: ci
 
@@ -46,5 +46,9 @@ bench-compare:
 # dfsd builds the selection-service daemon (see README "Serving").
 dfsd:
 	$(GO) build -o dfsd ./cmd/dfsd
+
+# dfsload builds the load-test harness for dfsd.
+dfsload:
+	$(GO) build -o dfsload ./cmd/dfsload
 
 ci: vet build race

@@ -24,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -58,6 +60,8 @@ func main() {
 	tracePath := flag.String("trace", "", "append a JSONL span trace (job → pool → scenario → strategy_run) to this file; read it with cmd/obsreport")
 	traceRotate := flag.Int64("trace-rotate-bytes", 64<<20, "rotate the -trace file when it would exceed this many bytes")
 	traceKeep := flag.Int("trace-keep", 8, "rotated -trace files to keep; older ones are deleted")
+	fanout := flag.String("fanout", "", "comma-separated worker daemon URLs; when set this daemon is a coordinator that shards every job across them instead of executing locally")
+	fanoutPoll := flag.Duration("fanout-poll", 150*time.Millisecond, "coordinator's worker-status poll interval")
 	flag.Parse()
 
 	budgets, err := parseBudgets(*tenantBudgets)
@@ -70,7 +74,10 @@ func main() {
 
 	// The trace sink appends (and rotates), so a restarted daemon extends
 	// the same file set; the epoch marker tells readers where the new
-	// process (and its fresh span numbering) begins.
+	// process (and its fresh span numbering) begins. The tracer always tees
+	// into the broadcast sink so GET /jobs/{id}/events sees the span stream
+	// whether or not a file trace is configured.
+	broadcast := obs.NewBroadcastSink(0)
 	var rt *obs.Runtime
 	var sink *obs.RotatingFileSink
 	if *tracePath != "" {
@@ -79,9 +86,41 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dfsd:", err)
 			os.Exit(1)
 		}
-		tracer := obs.NewTracer(sink)
+		tracer := obs.NewTracer(obs.MultiSink{sink, broadcast})
 		tracer.Event(0, obs.EpochEvent, obs.Str("daemon", "dfsd"), obs.Str("addr", *addr))
 		rt = obs.New(obs.WithTracer(tracer))
+	}
+
+	retry := core.RetryPolicy{
+		MaxAttempts: *retries,
+		BaseBackoff: *retryBase,
+		CapBackoff:  *retryCap,
+		JitterSeed:  *retrySeed,
+	}
+
+	// Coordinator mode: swap the pool builder for the fan-out. Everything
+	// else — admission, drain/resume, streaming — is the ordinary server.
+	var buildPool serve.PoolBuilder
+	if *fanout != "" {
+		var workerURLs []string
+		for _, u := range strings.Split(*fanout, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, strings.TrimSuffix(u, "/"))
+			}
+		}
+		if len(workerURLs) == 0 {
+			fmt.Fprintln(os.Stderr, "dfsd: -fanout lists no worker URLs")
+			os.Exit(2)
+		}
+		fo := &serve.Fanout{
+			Workers:  workerURLs,
+			SpoolDir: filepath.Join(*data, "fanout-spool"),
+			Retry:    retry,
+			Poll:     *fanoutPoll,
+			Logf:     logger.Printf,
+		}
+		buildPool = fo.BuildPool
+		logger.Printf("dfsd coordinating %d workers: %s", len(workerURLs), strings.Join(workerURLs, " "))
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -97,14 +136,11 @@ func main() {
 		JobTTL:              *jobTTL,
 		MaxTerminalJobs:     *maxTerminalJobs,
 		GCInterval:          *gcInterval,
-		Retry: core.RetryPolicy{
-			MaxAttempts: *retries,
-			BaseBackoff: *retryBase,
-			CapBackoff:  *retryCap,
-			JitterSeed:  *retrySeed,
-		},
-		Obs:  rt,
-		Logf: logger.Printf,
+		Retry:          retry,
+		BuildPool:      buildPool,
+		Obs:            rt,
+		TraceBroadcast: broadcast,
+		Logf:           logger.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfsd:", err)
@@ -158,7 +194,10 @@ func parseBudgets(s string) (map[string]float64, error) {
 			return nil, fmt.Errorf("invalid -tenant-budget entry %q (want name=units)", pair)
 		}
 		units, err := strconv.ParseFloat(val, 64)
-		if err != nil || units < 0 {
+		// ParseFloat accepts "NaN" and "+Inf"; a NaN budget passes every
+		// comparison (spent >= limit is always false) and would silently mean
+		// unlimited, so reject non-finite values along with negatives.
+		if err != nil || math.IsNaN(units) || math.IsInf(units, 0) || units < 0 {
 			return nil, fmt.Errorf("invalid budget for tenant %q: %q", name, val)
 		}
 		out[name] = units

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseBudgets pins the -tenant-budget parser, in particular that
+// non-finite values are rejected: strconv.ParseFloat happily accepts "NaN"
+// and "+Inf", and a NaN budget would compare as never-exhausted.
+func TestParseBudgets(t *testing.T) {
+	cases := []struct {
+		in   string
+		want map[string]float64
+		ok   bool
+	}{
+		{"", nil, true},
+		{"alice=50000", map[string]float64{"alice": 50000}, true},
+		{"alice=50000,bob=1e6", map[string]float64{"alice": 50000, "bob": 1e6}, true},
+		{" alice = 50000", nil, false}, // spaces inside the pair are not trimmed around '='
+		{"alice=0", map[string]float64{"alice": 0}, true},
+		{"alice=NaN", nil, false},
+		{"alice=nan", nil, false},
+		{"alice=+Inf", nil, false},
+		{"alice=Inf", nil, false},
+		{"alice=-Inf", nil, false},
+		{"alice=-5", nil, false},
+		{"alice=", nil, false},
+		{"alice", nil, false},
+		{"=5", nil, false},
+		{"alice=5,,", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseBudgets(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseBudgets(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && c.want != nil && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseBudgets(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

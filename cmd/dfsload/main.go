@@ -1,0 +1,198 @@
+// Command dfsload is the load-test harness for dfsd: it drives a burst of
+// concurrent job submissions at a running daemon and reports how admission
+// control held up — accept/shed/error counts, the shed rate, and submit
+// latency percentiles.
+//
+//	dfsload -addr http://127.0.0.1:8100 -n 2000 -concurrency 64
+//
+// The interesting number under overload is not throughput but the shape of
+// rejection: a healthy daemon sheds excess load fast (429 + Retry-After,
+// milliseconds per rejection) and loses nothing it accepted. -min-shed
+// asserts the first property (the queue really was overrun), -verify the
+// second: after the burst, every accepted job is polled to a terminal state
+// and any job the daemon forgot counts as lost. Both turn the harness into a
+// CI check that exits nonzero on violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8100", "base URL of the dfsd daemon")
+	n := flag.Int("n", 2000, "total submissions to issue")
+	concurrency := flag.Int("concurrency", 64, "concurrent submitters")
+	scenarios := flag.Int("scenarios", 1, "scenarios per submitted job")
+	maxEvals := flag.Int("max-evals", 8, "max_evals per submitted job (keep small: the point is admission, not compute)")
+	seed := flag.Uint64("seed", 1, "base seed; submission i uses seed+i")
+	tenant := flag.String("tenant", "", "tenant attributed to every job")
+	minShed := flag.Float64("min-shed", -1, "fail (exit 1) unless the shed rate (429s / total) is at least this; negative disables")
+	verify := flag.Bool("verify", false, "after the burst, poll every accepted job to a terminal state and fail on lost jobs")
+	verifyTimeout := flag.Duration("verify-timeout", 5*time.Minute, "how long -verify waits for the accepted backlog to finish")
+	flag.Parse()
+
+	base := strings.TrimSuffix(*addr, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		accepted []string
+		lat      = make([][]time.Duration, *concurrency)
+		nAccept  atomic.Int64
+		nShed    atomic.Int64 // 429: queue full or budget
+		nUnavail atomic.Int64 // 503: draining
+		nInvalid atomic.Int64 // other 4xx/5xx
+		nErr     atomic.Int64 // transport errors
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*n) {
+					return
+				}
+				spec := fmt.Sprintf(`{"scenarios":%d,"seed":%d,"max_evals":%d,"tenant":%q}`,
+					*scenarios, *seed+uint64(i), *maxEvals, *tenant)
+				t0 := time.Now()
+				resp, err := client.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+				lat[w] = append(lat[w], time.Since(t0))
+				if err != nil {
+					nErr.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var st struct {
+						ID string `json:"id"`
+					}
+					if json.NewDecoder(resp.Body).Decode(&st) == nil && st.ID != "" {
+						mu.Lock()
+						accepted = append(accepted, st.ID)
+						mu.Unlock()
+						nAccept.Add(1)
+					} else {
+						nInvalid.Add(1)
+					}
+				case http.StatusTooManyRequests:
+					nShed.Add(1)
+				case http.StatusServiceUnavailable:
+					nUnavail.Add(1)
+				default:
+					nInvalid.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := int64(*n)
+	shedRate := float64(nShed.Load()) / float64(total)
+	fmt.Printf("dfsload: %d submissions in %v (%.0f/s, concurrency %d)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *concurrency)
+	fmt.Printf("  accepted %d  shed(429) %d  draining(503) %d  invalid %d  transport-errors %d\n",
+		nAccept.Load(), nShed.Load(), nUnavail.Load(), nInvalid.Load(), nErr.Load())
+	fmt.Printf("  shed rate %.1f%%\n", 100*shedRate)
+	fmt.Printf("  submit latency p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(all, 0.50), pct(all, 0.90), pct(all, 0.99), pct(all, 1.00))
+
+	exit := 0
+	if *minShed >= 0 && shedRate < *minShed {
+		fmt.Printf("dfsload: FAIL shed rate %.3f below required %.3f — the queue was not overrun\n", shedRate, *minShed)
+		exit = 1
+	}
+	if nErr.Load() > 0 {
+		fmt.Printf("dfsload: FAIL %d transport errors — rejections must be answered, not dropped\n", nErr.Load())
+		exit = 1
+	}
+	if *verify {
+		if lost := verifyAccepted(client, base, accepted, *verifyTimeout); lost > 0 {
+			fmt.Printf("dfsload: FAIL %d accepted jobs lost\n", lost)
+			exit = 1
+		} else {
+			fmt.Printf("dfsload: verified %d accepted jobs all reached a terminal state (zero lost)\n", len(accepted))
+		}
+	}
+	os.Exit(exit)
+}
+
+// verifyAccepted polls every accepted job until it reaches a terminal state
+// (done/failed/drained), returning how many never did — a job the daemon
+// accepted and then lost track of (404) or left queued/running past the
+// deadline.
+func verifyAccepted(client *http.Client, base string, ids []string, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	pending := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		pending[id] = true
+	}
+	lost := 0
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		for id := range pending {
+			resp, err := client.Get(base + "/jobs/" + id)
+			if err != nil {
+				continue // daemon momentarily unreachable; retry next sweep
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			ok := resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&st) == nil
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				// Accepted then forgotten: definitively lost, stop waiting on it.
+				fmt.Printf("dfsload: job %s vanished after acceptance\n", id)
+				lost++
+				delete(pending, id)
+				continue
+			}
+			if ok {
+				switch st.State {
+				case "done", "failed", "drained":
+					delete(pending, id)
+				}
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+	return lost + len(pending)
+}
+
+// pct reads the q-quantile (0..1] of sorted latencies.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

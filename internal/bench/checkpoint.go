@@ -153,7 +153,7 @@ func (w *CheckpointWriter) latchLocked(err error) error {
 // it explicitly.
 func CreateCheckpoint(path string, cfg Config) (*CheckpointWriter, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Shard.validate(); err != nil {
+	if err := cfg.Shard.Validate(); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
@@ -190,7 +190,7 @@ func CreateCheckpoint(path string, cfg Config) (*CheckpointWriter, error) {
 // resumes.
 func ResumeCheckpoint(path string, cfg Config) (*CheckpointWriter, []Record, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Shard.validate(); err != nil {
+	if err := cfg.Shard.Validate(); err != nil {
 		return nil, nil, err
 	}
 	data, err := os.ReadFile(path)
@@ -287,7 +287,7 @@ func parseCheckpoint(path string, data []byte) (checkpointHeader, []Record, int,
 		if rec.ID < 0 || rec.ID >= cfg.Scenarios {
 			return hdr, nil, 0, fmt.Errorf("checkpoint: %s: scenario ID %d outside [0,%d)", path, rec.ID, cfg.Scenarios)
 		}
-		if !cfg.Shard.contains(rec.ID) {
+		if !cfg.Shard.Contains(rec.ID) {
 			return hdr, nil, 0, fmt.Errorf("checkpoint: %s: scenario %d does not belong to shard %s", path, rec.ID, cfg.Shard)
 		}
 		if prev, ok := seen[rec.ID]; ok {

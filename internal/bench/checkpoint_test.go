@@ -297,7 +297,7 @@ func TestMergeShardsMatchesSingleRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
-		if want := scfg.Shard.size(cfg.Scenarios); len(p.Records) != want {
+		if want := scfg.Shard.Size(cfg.Scenarios); len(p.Records) != want {
 			t.Fatalf("shard %d built %d records, want %d", i, len(p.Records), want)
 		}
 	}
@@ -402,11 +402,11 @@ func TestResumeObsInvariant(t *testing.T) {
 // TestShardSpec pins the partitioning arithmetic BuildPoolResumed and the
 // -shard flag rely on.
 func TestShardSpec(t *testing.T) {
-	if err := (ShardSpec{}).validate(); err != nil {
+	if err := (ShardSpec{}).Validate(); err != nil {
 		t.Fatalf("zero shard invalid: %v", err)
 	}
 	for _, bad := range []ShardSpec{{Index: -1, Count: 2}, {Index: 2, Count: 2}, {Index: 0, Count: -1}} {
-		if err := bad.validate(); err == nil {
+		if err := bad.Validate(); err == nil {
 			t.Fatalf("shard %+v validated", bad)
 		}
 	}
@@ -415,13 +415,13 @@ func TestShardSpec(t *testing.T) {
 	for _, s := range []ShardSpec{{0, 3}, {1, 3}, {2, 3}} {
 		size := 0
 		for i := 0; i < n; i++ {
-			if s.contains(i) {
+			if s.Contains(i) {
 				counts[i]++
 				size++
 			}
 		}
-		if size != s.size(n) {
-			t.Fatalf("shard %s: size(%d) = %d, but contains %d IDs", s, n, s.size(n), size)
+		if size != s.Size(n) {
+			t.Fatalf("shard %s: size(%d) = %d, but contains %d IDs", s, n, s.Size(n), size)
 		}
 	}
 	for i, c := range counts {

@@ -96,43 +96,58 @@ func (r *SequenceExperimentResult) Render() string {
 	return b.String()
 }
 
-// WritePoolCSV dumps the raw per-scenario, per-strategy outcomes so the
-// pool can be re-analyzed outside this harness. One row per (scenario,
-// strategy) pair.
-func WritePoolCSV(w io.Writer, p *Pool) error {
-	cw := csv.NewWriter(w)
-	header := []string{
+// PoolCSVHeader is the column header of the pool CSV dump, shared by the
+// whole-pool writer and the serving layer's record-at-a-time streamer.
+func PoolCSVHeader() []string {
+	return []string{
 		"scenario", "dataset", "model",
 		"min_f1", "max_feature_frac", "min_eo", "min_safety", "privacy_eps", "budget",
 		"satisfiable", "strategy", "satisfied", "cost_at_solution", "total_cost",
 		"evaluations", "best_val_distance", "test_f1", "test_eo", "test_safety", "num_features",
 	}
-	if err := cw.Write(header); err != nil {
+}
+
+// WriteRecordCSV writes one record's rows (one per strategy, Table 3 order
+// after the Original Features baseline) to cw. The rows are exactly the
+// ones WritePoolCSV emits for the record, so a stream of WriteRecordCSV
+// calls in scenario-ID order is byte-identical to the whole-pool dump.
+func WriteRecordCSV(cw *csv.Writer, r *Record) error {
+	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
+	for _, s := range names {
+		out, ok := r.Results[s]
+		if !ok {
+			return errors.New("bench: record missing strategy " + s)
+		}
+		row := []string{
+			strconv.Itoa(r.ID), r.Dataset, string(r.Model),
+			f(r.Constraints.MinF1), f(r.Constraints.MaxFeatureFrac),
+			f(r.Constraints.MinEO), f(r.Constraints.MinSafety),
+			f(r.Constraints.PrivacyEps), f(r.Constraints.MaxSearchCost),
+			strconv.FormatBool(r.Satisfiable()), s,
+			strconv.FormatBool(out.Satisfied),
+			f(out.CostAtSolution), f(out.TotalCost),
+			strconv.Itoa(out.Evaluations), f(out.BestValDistance),
+			f(out.TestScores.F1), f(out.TestScores.EO), f(out.TestScores.Safety),
+			strconv.Itoa(len(out.Features)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePoolCSV dumps the raw per-scenario, per-strategy outcomes so the
+// pool can be re-analyzed outside this harness. One row per (scenario,
+// strategy) pair.
+func WritePoolCSV(w io.Writer, p *Pool) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(PoolCSVHeader()); err != nil {
 		return err
 	}
-	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
 	for i := range p.Records {
-		r := &p.Records[i]
-		for _, s := range names {
-			out, ok := r.Results[s]
-			if !ok {
-				return errors.New("bench: record missing strategy " + s)
-			}
-			row := []string{
-				strconv.Itoa(r.ID), r.Dataset, string(r.Model),
-				f(r.Constraints.MinF1), f(r.Constraints.MaxFeatureFrac),
-				f(r.Constraints.MinEO), f(r.Constraints.MinSafety),
-				f(r.Constraints.PrivacyEps), f(r.Constraints.MaxSearchCost),
-				strconv.FormatBool(r.Satisfiable()), s,
-				strconv.FormatBool(out.Satisfied),
-				f(out.CostAtSolution), f(out.TotalCost),
-				strconv.Itoa(out.Evaluations), f(out.BestValDistance),
-				f(out.TestScores.F1), f(out.TestScores.EO), f(out.TestScores.Safety),
-				strconv.Itoa(len(out.Features)),
-			}
-			if err := cw.Write(row); err != nil {
-				return err
-			}
+		if err := WriteRecordCSV(cw, &p.Records[i]); err != nil {
+			return err
 		}
 	}
 	cw.Flush()

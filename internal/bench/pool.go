@@ -92,14 +92,14 @@ func (s ShardSpec) normalized() ShardSpec {
 	return s
 }
 
-// contains reports whether scenario i belongs to this shard.
-func (s ShardSpec) contains(i int) bool {
+// Contains reports whether scenario i belongs to this shard.
+func (s ShardSpec) Contains(i int) bool {
 	s = s.normalized()
 	return i%s.Count == s.Index
 }
 
-// size counts this shard's scenarios in a pool of n.
-func (s ShardSpec) size(n int) int {
+// Size counts this shard's scenarios in a pool of n.
+func (s ShardSpec) Size(n int) int {
 	s = s.normalized()
 	count := n / s.Count
 	if s.Index < n%s.Count {
@@ -109,7 +109,7 @@ func (s ShardSpec) size(n int) int {
 }
 
 // validate rejects malformed shard specs.
-func (s ShardSpec) validate() error {
+func (s ShardSpec) Validate() error {
 	n := s.normalized()
 	if n.Count < 1 || n.Index < 0 || n.Index >= n.Count {
 		return fmt.Errorf("bench: invalid shard %d/%d", s.Index, s.Count)
@@ -370,7 +370,7 @@ func BuildPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 // how the records were split between Resume and live execution.
 func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Shard.validate(); err != nil {
+	if err := cfg.Shard.Validate(); err != nil {
 		return nil, err
 	}
 	po, ctx := newPoolObs(ctx, cfg)
@@ -395,7 +395,7 @@ func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, 
 		if rec.ID < 0 || rec.ID >= cfg.Scenarios {
 			return nil, fmt.Errorf("bench: resumed scenario ID %d outside [0,%d)", rec.ID, cfg.Scenarios)
 		}
-		if !cfg.Shard.contains(rec.ID) {
+		if !cfg.Shard.Contains(rec.ID) {
 			return nil, fmt.Errorf("bench: resumed scenario %d does not belong to shard %s", rec.ID, cfg.Shard)
 		}
 		if done[rec.ID] {
@@ -417,7 +417,7 @@ func BuildPoolResumed(ctx context.Context, cfg Config, opts RunOptions) (*Pool, 
 	scenarios := make(chan struct{}, cfg.Workers)
 	slots := make(chan struct{}, cfg.Workers)
 	for i := 0; i < cfg.Scenarios && ctx.Err() == nil; i++ {
-		if !cfg.Shard.contains(i) || done[i] {
+		if !cfg.Shard.Contains(i) || done[i] {
 			continue
 		}
 		wg.Add(1)
@@ -620,7 +620,7 @@ func newPoolObs(ctx context.Context, cfg Config) (*poolObs, context.Context) {
 		attrs = append(attrs, obs.Str("shard", cfg.Shard.String()))
 	}
 	span := rt.Tracer().StartSpan(obs.SpanFromContext(ctx), "pool", attrs...)
-	rt.Progress().BeginPool(label, cfg.Shard.size(cfg.Scenarios))
+	rt.Progress().BeginPool(label, cfg.Shard.Size(cfg.Scenarios))
 	m := rt.Metrics()
 	p := &poolObs{
 		rt:                rt,

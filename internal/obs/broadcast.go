@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MultiSink fans every emitted trace line out to several sinks — e.g. a
+// RotatingFileSink for durability plus a BroadcastSink for live streaming.
+// The tracer serializes Emit calls, so the members need no extra locking
+// beyond their own. Every sink sees every line even when an earlier one
+// fails; the first error is returned so the tracer's latch still records
+// that the trace is incomplete somewhere.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(line []byte) error {
+	var first error
+	for _, s := range m {
+		if err := s.Emit(line); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BroadcastSink distributes trace lines to dynamically attached subscribers
+// — the live half of the span stream, backing GET /jobs/{id}/events. It
+// keeps a bounded replay ring of recent lines so a subscriber attaching
+// mid-run still sees the immediate past (enough to pick up span parentage
+// for filtering), and it never blocks the tracer: a subscriber whose buffer
+// is full loses lines, counted per subscription, instead of stalling the
+// instrumented hot path.
+type BroadcastSink struct {
+	mu     sync.Mutex
+	ring   [][]byte // replay buffer, oldest first
+	cap    int
+	subs   map[*Subscription]struct{}
+	closed bool
+}
+
+// NewBroadcastSink builds a broadcast sink whose replay ring keeps the most
+// recent replay lines (<= 0 means 1024).
+func NewBroadcastSink(replay int) *BroadcastSink {
+	if replay <= 0 {
+		replay = 1024
+	}
+	return &BroadcastSink{cap: replay, subs: make(map[*Subscription]struct{})}
+}
+
+// Emit implements Sink. The tracer reuses the line buffer between calls, so
+// the line is copied once here and then shared read-only by the ring and
+// every subscriber.
+func (b *BroadcastSink) Emit(line []byte) error {
+	if b == nil {
+		return nil
+	}
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	if len(b.ring) == b.cap {
+		copy(b.ring, b.ring[1:])
+		b.ring[len(b.ring)-1] = cp
+	} else {
+		b.ring = append(b.ring, cp)
+	}
+	for sub := range b.subs {
+		select {
+		case sub.c <- cp:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	return nil
+}
+
+// Subscribe attaches a subscriber with the given channel buffer (<= 0 means
+// 256). The replay ring is delivered into the buffer first (oldest lines
+// beyond the buffer are dropped and counted), then live lines follow. The
+// channel is closed by Subscription.Close or BroadcastSink.Close.
+func (b *BroadcastSink) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := &Subscription{c: make(chan []byte, buf), b: b}
+	sub.C = sub.c
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(sub.c)
+		return sub
+	}
+	replay := b.ring
+	if len(replay) > buf {
+		sub.dropped.Add(uint64(len(replay) - buf))
+		replay = replay[len(replay)-buf:]
+	}
+	for _, line := range replay {
+		sub.c <- line
+	}
+	b.subs[sub] = struct{}{}
+	return sub
+}
+
+// Close detaches every subscriber (closing their channels) and makes
+// further Emits no-ops. Idempotent.
+func (b *BroadcastSink) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		close(sub.c)
+	}
+	b.subs = nil
+	b.ring = nil
+}
+
+// Subscription is one attached consumer of a BroadcastSink. Receive from C;
+// a closed C means the sink shut down.
+type Subscription struct {
+	// C delivers trace lines (shared buffers — do not modify).
+	C <-chan []byte
+
+	c       chan []byte
+	b       *BroadcastSink
+	dropped atomic.Uint64
+}
+
+// Dropped reports how many lines this subscriber lost to a full buffer
+// (including replay lines that did not fit at Subscribe time).
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes C. Safe to call concurrently
+// with Emit, and idempotent against the sink's own Close (membership in the
+// sink's subscriber set is the open/closed state, so the channel is closed
+// exactly once).
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if _, ok := s.b.subs[s]; !ok {
+		return
+	}
+	delete(s.b.subs, s)
+	close(s.c)
+}

@@ -1,0 +1,459 @@
+package serve
+
+// Multi-daemon fan-out: a coordinator daemon partitions one submitted job
+// across N worker daemons and reassembles the result bit-identically.
+//
+// The coordinator is an ordinary Server whose Config.BuildPool is a
+// Fanout — every other mechanism (bounded admission, deadlines, job-level
+// retry, graceful drain with resume, result streaming) applies to fanned-out
+// jobs unchanged, because from the server's perspective the Fanout is just a
+// slow pool builder. Workers are plain dfsd processes with no special mode:
+// the coordinator submits shard jobs (JobSpec.ShardIndex/ShardCount, the
+// round-robin partition scenario i % count == index) over the public HTTP
+// API, polls them, and downloads each completed shard's checkpoint — the
+// same JSONL transfer format a local resume reads — via
+// GET /jobs/{id}/checkpoint. Determinism does the heavy lifting: a shard
+// job recomputed on a different worker (or resubmitted after a worker died)
+// produces byte-identical records, so reassignment needs no state handoff.
+//
+// Failure semantics per shard: transport errors, 429/503 rejections, a
+// worker job ending drained, or a run of failed polls are transient — the
+// shard waits out the coordinator's RetryPolicy backoff and is reassigned to
+// the next worker in rotation (covering both overloaded and dead workers). A
+// 400 rejection or a worker job ending failed is permanent and fails the
+// whole job with the worker's typed reason. Records land in the
+// coordinator's own checkpoint as shards complete, so a coordinator crash or
+// drain resumes by re-running only the shards with missing records.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/declarative-fs/dfs/internal/bench"
+	"github.com/declarative-fs/dfs/internal/core"
+)
+
+// Fanout is a PoolBuilder that executes a job by sharding it across worker
+// daemons. Use it as Config.BuildPool on the coordinator server.
+type Fanout struct {
+	// Workers are the base URLs of the worker daemons (e.g.
+	// "http://127.0.0.1:8101"). Required, at least one. One shard is created
+	// per worker (fewer when the job has fewer scenarios than workers).
+	Workers []string
+	// SpoolDir receives downloaded shard checkpoints. Required; created if
+	// absent. Files are removed after a successful merge.
+	SpoolDir string
+	// Retry schedules per-shard reassignment after transient worker
+	// failures; the zero value means core.DefaultTransientRetries immediate
+	// retries.
+	Retry core.RetryPolicy
+	// Poll is the status poll interval; 0 means 150ms.
+	Poll time.Duration
+	// Client is the HTTP client; nil means a private one with a 10s
+	// per-request timeout (polls and downloads are small; shard runtime
+	// lives in the poll loop, not in any single request).
+	Client *http.Client
+	// Logf receives coordinator log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// workerUnavailableError marks a shard attempt that failed for reasons a
+// different worker (or a later retry) can cure: connection failures, 429/503
+// rejections, a drained worker job, dead-looking poll targets. It is
+// Transient so the server's job-level retry loop re-runs the fanout — which
+// resumes from the coordinator checkpoint and re-executes only the missing
+// shards.
+type workerUnavailableError struct {
+	worker string
+	err    error
+}
+
+func (e *workerUnavailableError) Error() string {
+	return fmt.Sprintf("fanout: worker %s unavailable: %v", e.worker, e.err)
+}
+func (e *workerUnavailableError) Unwrap() error   { return e.err }
+func (e *workerUnavailableError) Transient() bool { return true }
+
+func (f *Fanout) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+func (f *Fanout) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (f *Fanout) poll() time.Duration {
+	if f.Poll > 0 {
+		return f.Poll
+	}
+	return 150 * time.Millisecond
+}
+
+// BuildPool implements PoolBuilder: partition cfg's scenarios into one shard
+// per worker, run every shard whose records are not already in opts.Resume,
+// and merge. Newly arrived records are appended to opts.Sink as each shard
+// completes, so the coordinator's checkpoint (and live result stream) fill
+// in shard-sized steps.
+func (f *Fanout) BuildPool(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
+	if len(f.Workers) == 0 {
+		return nil, fmt.Errorf("fanout: no workers configured")
+	}
+	if f.SpoolDir == "" {
+		return nil, fmt.Errorf("fanout: SpoolDir is required")
+	}
+	if cfg.Shard.Count > 1 {
+		// The coordinator owns the partitioning; a pre-sharded job would
+		// shard a shard and break the merge bookkeeping.
+		return nil, fmt.Errorf("fanout: cannot fan out an already-sharded job (shard %s)", cfg.Shard)
+	}
+	if err := os.MkdirAll(f.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fanout: spool dir: %w", err)
+	}
+
+	count := len(f.Workers)
+	if count > cfg.Scenarios {
+		count = cfg.Scenarios
+	}
+	done := make(map[int]bench.Record, len(opts.Resume))
+	for _, rec := range opts.Resume {
+		done[rec.ID] = rec
+	}
+
+	var (
+		mu     sync.Mutex
+		merged = make(map[int]bench.Record, cfg.Scenarios)
+		wg     sync.WaitGroup
+		errs   = make([]error, count)
+	)
+	for id, rec := range done {
+		merged[id] = rec
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for idx := 0; idx < count; idx++ {
+		shard := bench.ShardSpec{Index: idx, Count: count}
+		if shardComplete(shard, cfg.Scenarios, done) {
+			f.logf("fanout: shard %d/%d already complete (resumed)", idx, count)
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, shard bench.ShardSpec) {
+			defer wg.Done()
+			recs, err := f.runShard(sctx, cfg, shard)
+			if err != nil {
+				errs[idx] = err
+				cancel() // no point finishing sibling shards this attempt
+				return
+			}
+			mu.Lock()
+			for _, rec := range recs {
+				if _, ok := merged[rec.ID]; ok {
+					continue // resumed earlier; identical by determinism
+				}
+				merged[rec.ID] = rec
+				if opts.Sink != nil {
+					// Latched in the sink like a local build: a checkpoint
+					// failure surfaces at Close, not here.
+					rec := rec
+					_ = opts.Sink.Append(&rec)
+				}
+			}
+			mu.Unlock()
+			f.logf("fanout: shard %d/%d complete (%d records)", idx, count, len(recs))
+		}(idx, shard)
+	}
+	wg.Wait()
+
+	// Prefer the real failure over the context.Canceled its cancellation
+	// inflicted on sibling shards.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+			firstErr = err
+		}
+	}
+	if ctx.Err() != nil {
+		// The caller's cancellation (drain, deadline) wins over whatever the
+		// shards reported while dying.
+		return &bench.Pool{Config: cfg, Records: sortedRecords(merged), Interrupted: true}, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	pool := &bench.Pool{Config: cfg, Records: sortedRecords(merged)}
+	if len(pool.Records) != cfg.Scenarios {
+		return nil, fmt.Errorf("fanout: merged %d/%d records", len(pool.Records), cfg.Scenarios)
+	}
+	// Every record is merged and checkpointed; the spool files are now
+	// redundant copies.
+	for idx := 0; idx < count; idx++ {
+		_ = os.Remove(f.spoolPath(cfg, idx, count))
+	}
+	return pool, nil
+}
+
+// shardComplete reports every scenario of the shard already has a record.
+func shardComplete(shard bench.ShardSpec, scenarios int, done map[int]bench.Record) bool {
+	for i := 0; i < scenarios; i++ {
+		if shard.Contains(i) {
+			if _, ok := done[i]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortedRecords(byID map[int]bench.Record) []bench.Record {
+	out := make([]bench.Record, 0, len(byID))
+	for _, rec := range byID {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (f *Fanout) spoolPath(cfg bench.Config, idx, count int) string {
+	return filepath.Join(f.SpoolDir, fmt.Sprintf("%s-shard-%d-of-%d.ckpt", cfg.Label, idx, count))
+}
+
+// runShard executes one shard to completion, rotating through the workers on
+// transient failures: attempt k goes to worker (index+k) % len(Workers), so
+// a dead worker's shards migrate to its neighbors while healthy workers keep
+// their own shard on attempt 0.
+func (f *Fanout) runShard(ctx context.Context, cfg bench.Config, shard bench.ShardSpec) ([]bench.Record, error) {
+	attempts := f.Retry.Attempts()
+	var lastErr error
+	for k := 0; k < attempts; k++ {
+		if k > 0 {
+			if err := f.Retry.Wait(ctx, k); err != nil {
+				return nil, err
+			}
+		}
+		worker := f.Workers[(shard.Index+k)%len(f.Workers)]
+		recs, err := f.runShardOn(ctx, worker, cfg, shard)
+		if err == nil {
+			return recs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !core.IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+		f.logf("fanout: shard %s attempt %d on %s: %v", shard, k, worker, err)
+	}
+	return nil, lastErr
+}
+
+// runShardOn submits the shard to one worker, polls it to a terminal state,
+// and downloads its checkpoint.
+func (f *Fanout) runShardOn(ctx context.Context, worker string, cfg bench.Config, shard bench.ShardSpec) ([]bench.Record, error) {
+	spec := shardJobSpec(cfg, shard)
+	st, err := f.submit(ctx, worker, spec)
+	if err != nil {
+		return nil, err
+	}
+	f.logf("fanout: shard %s → %s %s", shard, worker, st.ID)
+	st, err = f.await(ctx, worker, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	switch st.State {
+	case StateDone:
+	case StateDrained:
+		// The worker shut down mid-shard. Its checkpoint survives on its
+		// disk, but the cheapest cure is recomputation elsewhere —
+		// determinism makes the replacement records identical.
+		return nil, &workerUnavailableError{worker: worker, err: fmt.Errorf("job %s drained", st.ID)}
+	case StateFailed:
+		return nil, fmt.Errorf("fanout: shard %s failed on %s (%s): %s", shard, worker, st.FailureCategory, st.Error)
+	default:
+		return nil, fmt.Errorf("fanout: shard %s on %s ended in unexpected state %s", shard, worker, st.State)
+	}
+	return f.fetchShard(ctx, worker, st.ID, cfg, shard)
+}
+
+// shardJobSpec maps the coordinator's bench config back onto the wire spec a
+// worker accepts, restricted to one shard. The mapping must round-trip
+// through the worker's own benchConfig to the same record-identity fields
+// (Workers/KernelWorkers/Label are excluded from identity, so the worker's
+// local parallelism and labeling are free).
+func shardJobSpec(cfg bench.Config, shard bench.ShardSpec) JobSpec {
+	return JobSpec{
+		Scenarios:  cfg.Scenarios,
+		Seed:       cfg.Seed,
+		HPO:        cfg.HPO,
+		Utility:    cfg.Mode == core.ModeMaximizeUtility,
+		MaxEvals:   cfg.MaxEvals,
+		Datasets:   cfg.Datasets,
+		ShardIndex: shard.Index,
+		ShardCount: shard.Count,
+	}
+}
+
+// submit POSTs the shard job. 429/503 (and transport failures) are
+// transient; 400 is permanent.
+func (f *Fanout) submit(ctx context.Context, worker string, spec JobSpec) (Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		return Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return Status{}, &workerUnavailableError{worker: worker, err: err}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return Status{}, &workerUnavailableError{worker: worker, err: fmt.Errorf("bad submit response: %w", err)}
+		}
+		return st, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return Status{}, &workerUnavailableError{worker: worker, err: fmt.Errorf("submit rejected: %s", readError(resp.Body))}
+	default:
+		return Status{}, fmt.Errorf("fanout: worker %s rejected shard job (%d): %s", worker, resp.StatusCode, readError(resp.Body))
+	}
+}
+
+// pollFailLimit is how many consecutive failed status polls declare a worker
+// dead (a SIGKILLed worker stops answering without any terminal state).
+const pollFailLimit = 5
+
+// await polls the worker job until it leaves queued/running.
+func (f *Fanout) await(ctx context.Context, worker, id string) (Status, error) {
+	t := time.NewTicker(f.poll())
+	defer t.Stop()
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return Status{}, ctx.Err()
+		case <-t.C:
+		}
+		st, err := f.status(ctx, worker, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Status{}, ctx.Err()
+			}
+			failures++
+			if failures >= pollFailLimit {
+				return Status{}, &workerUnavailableError{worker: worker, err: fmt.Errorf("%d consecutive poll failures: %w", failures, err)}
+			}
+			continue
+		}
+		failures = 0
+		if st.State != StateQueued && st.State != StateRunning {
+			return st, nil
+		}
+	}
+}
+
+func (f *Fanout) status(ctx context.Context, worker, id string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/jobs/"+id, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("status %s: %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// fetchShard downloads the worker job's checkpoint into the spool dir and
+// parses it, verifying it is the shard we asked for, complete, and from the
+// same pool identity.
+func (f *Fanout) fetchShard(ctx context.Context, worker, id string, cfg bench.Config, shard bench.ShardSpec) ([]bench.Record, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/jobs/"+id+"/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return nil, &workerUnavailableError{worker: worker, err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &workerUnavailableError{worker: worker, err: fmt.Errorf("checkpoint %s: %d: %s", id, resp.StatusCode, readError(resp.Body))}
+	}
+	path := f.spoolPath(cfg, shard.Index, shard.Count)
+	tmp := path + ".tmp"
+	g, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	_, cpErr := io.Copy(g, resp.Body)
+	if err := g.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if cpErr != nil {
+		os.Remove(tmp)
+		return nil, &workerUnavailableError{worker: worker, err: fmt.Errorf("checkpoint download: %w", cpErr)}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	rcfg, recs, err := bench.ReadCheckpoint(path)
+	if err != nil {
+		// A torn or foreign file from a half-dead worker: recomputable.
+		return nil, &workerUnavailableError{worker: worker, err: err}
+	}
+	if rcfg.Scenarios != cfg.Scenarios || rcfg.Seed != cfg.Seed {
+		return nil, fmt.Errorf("fanout: worker %s returned a checkpoint for a different pool (%d scenarios, seed %d)", worker, rcfg.Scenarios, rcfg.Seed)
+	}
+	if want := shard.Size(cfg.Scenarios); len(recs) != want {
+		return nil, &workerUnavailableError{worker: worker, err: fmt.Errorf("shard checkpoint has %d/%d records", len(recs), want)}
+	}
+	for _, rec := range recs {
+		if !shard.Contains(rec.ID) {
+			return nil, fmt.Errorf("fanout: worker %s returned scenario %d outside shard %s", worker, rec.ID, shard)
+		}
+	}
+	return recs, nil
+}
+
+// readError extracts the error string from a JSON rejection body (falling
+// back to the raw bytes).
+func readError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var eb errorBody
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -10,6 +12,25 @@ import (
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/obs"
 )
+
+// checkBodyDrained verifies the request body held exactly the one JSON
+// document the decoder consumed: no second document, no non-whitespace
+// trailer. (The decoder itself stops at the end of the first value, so
+// `{...}garbage` would otherwise be accepted.)
+func checkBodyDrained(dec *json.Decoder, body io.Reader) error {
+	if dec.More() {
+		return errors.New("bad job spec: trailing data after JSON document")
+	}
+	// dec.More tolerates trailing whitespace but reports a syntax error via
+	// Token; any remaining bytes past the decoder's buffer show up here too.
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("bad job spec: trailing data after JSON document")
+	}
+	if n, _ := io.Copy(io.Discard, body); n > 0 {
+		return errors.New("bad job spec: trailing data after JSON document")
+	}
+	return nil
+}
 
 // retryAfterSeconds is the client backoff hint attached to 429/503
 // rejections. Job runtimes are seconds-scale, so a short fixed hint keeps
@@ -22,21 +43,26 @@ const retryAfterSeconds = 2
 //	GET  /jobs             list all jobs             → 200 []Status
 //	GET  /jobs/{id}        one job's lifecycle state → 200 Status
 //	GET  /jobs/{id}/result completed pool as CSV     → 200 text/csv
+//	                       (?follow=1 → chunked CSV streamed while running)
+//	GET  /jobs/{id}/events SSE progress stream       → 200 text/event-stream
+//	GET  /jobs/{id}/checkpoint  raw checkpoint JSONL → 200 x-ndjson (done only)
 //	GET  /metrics          obs metrics registry      → 200 JSON
 //	                       (?format=prom → Prometheus text exposition)
 //	GET  /progress         live pool progress        → 200 JSON
 //	GET  /healthz          serving/draining state    → 200 JSON
 //	     /debug/pprof/...  live profiling
 //
-// Rejections are JSON with a typed "reason": 400 invalid spec, 429 queue
-// full or tenant budget exhausted (with Retry-After), 503 draining (with
-// Retry-After).
+// Rejections are JSON with a typed "reason": 400 invalid spec, 413 oversized
+// body, 429 queue full or tenant budget exhausted (with Retry-After), 503
+// draining (with Retry-After).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -68,12 +94,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// maxSubmitBody bounds a POST /jobs request body. A JobSpec is a few hundred
+// bytes at most; without the cap a client (or a confused proxy) could stream
+// an arbitrarily large body into the JSON decoder and hold a connection's
+// worth of memory for as long as it likes.
+const maxSubmitBody = 1 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error:  fmt.Sprintf("job spec exceeds %d bytes", tooBig.Limit),
+				Reason: RejectInvalid,
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error(), Reason: RejectInvalid})
+		return
+	}
+	// Exactly one JSON document: trailing garbage means the client and the
+	// server disagree about the request framing, so reject rather than
+	// silently run the first spec.
+	if err := checkBodyDrained(dec, r.Body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: RejectInvalid})
 		return
 	}
 	job, reason, err := s.Submit(spec)
@@ -119,6 +167,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 		return
 	}
+	if r.URL.Query().Get("follow") != "" {
+		s.streamResult(w, r, job)
+		return
+	}
 	pool := job.result()
 	if pool == nil {
 		writeJSON(w, http.StatusConflict, errorBody{
@@ -151,6 +203,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	// Health probes read the same registry scrapers do, so refresh the
+	// scrape-time gauges here too — otherwise a probe-only deployment reports
+	// a stale oldest-queued-age forever.
+	s.syncScrapeGauges(time.Now())
 	state := "serving"
 	if s.Draining() {
 		state = "draining"

@@ -68,6 +68,18 @@ type JobSpec struct {
 	// DeadlineSeconds is the wall-clock deadline for the job; 0 inherits the
 	// server default, negative is rejected.
 	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// ShardIndex/ShardCount restrict the job to a round-robin slice of the
+	// scenario IDs (scenario i runs when i % count == index): the fan-out
+	// coordinator partitions one logical job into ShardCount worker jobs
+	// whose checkpoints MergeShards reassembles bit-identically. Zero count
+	// means the whole pool.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+}
+
+// shardSpec maps the spec's shard fields onto the bench partitioning.
+func (sp JobSpec) shardSpec() bench.ShardSpec {
+	return bench.ShardSpec{Index: sp.ShardIndex, Count: sp.ShardCount}
 }
 
 // validate rejects malformed specs at admission time, before they occupy a
@@ -84,6 +96,9 @@ func (sp JobSpec) validate(maxScenarios int) error {
 	}
 	if sp.DeadlineSeconds < 0 {
 		return fmt.Errorf("deadline_seconds must be >= 0 (got %g)", sp.DeadlineSeconds)
+	}
+	if err := sp.shardSpec().Validate(); err != nil {
+		return fmt.Errorf("invalid shard %d/%d", sp.ShardIndex, sp.ShardCount)
 	}
 	for _, d := range sp.Datasets {
 		if _, err := synth.ByName(d); err != nil {
@@ -109,6 +124,7 @@ func (sp JobSpec) benchConfig(c Config, label string) bench.Config {
 		MaxEvals:  sp.MaxEvals,
 		Datasets:  sp.Datasets,
 		Workers:   c.PoolWorkers,
+		Shard:     sp.shardSpec(),
 		Label:     label,
 	}
 }
@@ -138,6 +154,13 @@ type Job struct {
 	resumed  bool // re-enqueued from disk by a restarted daemon
 	pool     *bench.Pool
 
+	// live indexes completed records by scenario ID while the job runs (and
+	// after it finishes), feeding the chunked-CSV result stream; update is
+	// the change-notification channel: closed and replaced whenever a record
+	// lands or the state moves, so streamers wait without polling.
+	live   map[int]*bench.Record
+	update chan struct{}
+
 	// Process-local tracing and SLO state, never persisted. span is the
 	// job's trace identity, opened at admission; the worker that runs the
 	// job is the only writer of dequeuedAt and the only closer of the span
@@ -155,8 +178,12 @@ type Status struct {
 	State State   `json:"state"`
 	Spec  JobSpec `json:"spec"`
 	// RecordsDone counts checkpointed scenarios (monotone progress toward
-	// Spec.Scenarios, surviving drains and restarts).
+	// RecordsTotal, surviving drains and restarts).
 	RecordsDone int `json:"records_done"`
+	// RecordsTotal is the number of scenarios this job will produce: the
+	// job's shard slice of Spec.Scenarios (equal to Spec.Scenarios for
+	// unsharded jobs).
+	RecordsTotal int `json:"records_total"`
 	// Retries counts transient retry attempts spent on the job.
 	Retries int `json:"retries,omitempty"`
 	// Resumed reports the job was re-adopted from disk by a restart.
@@ -177,6 +204,7 @@ func (j *Job) Status() Status {
 		State:           j.state,
 		Spec:            j.Spec,
 		RecordsDone:     j.records,
+		RecordsTotal:    j.Spec.shardSpec().Size(j.Spec.Scenarios),
 		Retries:         j.retries,
 		Resumed:         j.resumed,
 		Error:           j.err,
@@ -205,6 +233,7 @@ func (j *Job) result() *bench.Pool {
 func (j *Job) setState(s State) {
 	j.mu.Lock()
 	j.state = s
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -220,6 +249,75 @@ func (j *Job) addRecord() {
 	j.mu.Lock()
 	j.records++
 	j.mu.Unlock()
+}
+
+// notifyLocked wakes every changed() waiter. Callers hold j.mu.
+func (j *Job) notifyLocked() {
+	if j.update != nil {
+		close(j.update)
+		j.update = nil
+	}
+}
+
+// changed returns a channel closed at the next record arrival or state
+// transition. Grab it before reading the state you wait on, so a change
+// between the read and the wait is never missed.
+func (j *Job) changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.update == nil {
+		j.update = make(chan struct{})
+	}
+	return j.update
+}
+
+// publish registers a completed record for live result streaming
+// (deduplicated by scenario ID — retries re-resume the checkpoint and would
+// otherwise replay records) and wakes streamers.
+func (j *Job) publish(rec *bench.Record) {
+	j.mu.Lock()
+	if j.live == nil {
+		j.live = make(map[int]*bench.Record)
+	}
+	if _, ok := j.live[rec.ID]; !ok {
+		j.live[rec.ID] = rec
+		j.notifyLocked()
+	}
+	j.mu.Unlock()
+}
+
+// adoptPool indexes a completed pool's records for streaming, superseding
+// whatever the live map accumulated (same bytes — the pool was assembled
+// from those very records).
+func (j *Job) adoptPoolLocked(p *bench.Pool) {
+	j.live = make(map[int]*bench.Record, len(p.Records))
+	for i := range p.Records {
+		j.live[p.Records[i].ID] = &p.Records[i]
+	}
+}
+
+// availableFrom returns the contiguous run of completed records starting at
+// scenario ID next (skipping IDs outside the job's shard), the ID to resume
+// from, and the current state. Streamers call it in a loop: emit what is
+// available, wait on changed(), repeat.
+func (j *Job) availableFrom(next int) ([]*bench.Record, int, State) {
+	shard := j.Spec.shardSpec()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []*bench.Record
+	for next < j.Spec.Scenarios {
+		if !shard.Contains(next) {
+			next++
+			continue
+		}
+		rec := j.live[next]
+		if rec == nil {
+			break
+		}
+		out = append(out, rec)
+		next++
+	}
+	return out, next, j.state
 }
 
 func (j *Job) bumpRetries() {

@@ -99,8 +99,15 @@ type Config struct {
 	// bench.BuildPoolResumed.
 	BuildPool PoolBuilder
 	// Obs is the observability runtime backing /metrics and /progress; nil
-	// creates a private one.
+	// creates a private one whose tracer emits to TraceBroadcast, so SSE
+	// event streaming works out of the box.
 	Obs *obs.Runtime
+	// TraceBroadcast is the in-process fan-out of the span stream backing
+	// GET /jobs/{id}/events. Nil creates a private one. A caller that builds
+	// its own tracer (cmd/dfsd with -trace) must tee the tracer into this
+	// sink (obs.MultiSink) or the SSE bridge only sees synthesized progress
+	// events, never spans. The server closes it at the end of Drain.
+	TraceBroadcast *obs.BroadcastSink
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -121,8 +128,11 @@ func (c Config) withDefaults() Config {
 	if c.GCInterval <= 0 {
 		c.GCInterval = time.Minute
 	}
+	if c.TraceBroadcast == nil {
+		c.TraceBroadcast = obs.NewBroadcastSink(0)
+	}
 	if c.Obs == nil {
-		c.Obs = obs.New()
+		c.Obs = obs.New(obs.WithTracer(obs.NewTracer(c.TraceBroadcast)))
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -164,6 +174,11 @@ type Server struct {
 	// Config.EvalStore is empty); closed at the end of Drain.
 	store *evalstore.Store
 
+	// bcast fans the span stream out to SSE subscribers (always non-nil
+	// after New; see Config.TraceBroadcast). Closed at the end of Drain so
+	// event streams terminate cleanly.
+	bcast *obs.BroadcastSink
+
 	// queuedAt holds the admission time of every still-queued job (guarded
 	// by mu); the scrape-time serve.queue.oldest_age_seconds gauge reads it.
 	queuedAt map[string]time.Time
@@ -203,6 +218,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		rt:      rt,
+		bcast:   cfg.TraceBroadcast,
 		baseCtx: ctx,
 		cancel:  cancel,
 		jobs:     make(map[string]*Job),
@@ -394,11 +410,14 @@ func (s *Server) scanDir() ([]*Job, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: job %s is done but its checkpoint is unreadable: %w", job.ID, err)
 			}
-			if len(records) != cfg.Scenarios {
-				return nil, fmt.Errorf("serve: job %s is done but its checkpoint has %d/%d records", job.ID, len(records), cfg.Scenarios)
+			// A shard job's checkpoint holds its shard's slice of the pool,
+			// not every scenario; completeness is measured against the shard.
+			if want := cfg.Shard.Size(cfg.Scenarios); len(records) != want {
+				return nil, fmt.Errorf("serve: job %s is done but its checkpoint has %d/%d records", job.ID, len(records), want)
 			}
 			job.pool = &bench.Pool{Config: cfg, Records: records}
 			job.records = len(records)
+			job.adoptPoolLocked(job.pool)
 			s.chargeTenant(job.Tenant, job.cost)
 		case job.state == StateFailed:
 			// Terminal; keep for status queries.
@@ -691,6 +710,12 @@ func (s *Server) buildOnce(ctx context.Context, job *Job, bcfg bench.Config) (p 
 		return nil, err
 	}
 	job.setRecords(len(resumed))
+	// Resumed records are completed work: feed them to the live result
+	// stream exactly like freshly executed ones (publish dedups by ID, so a
+	// retry re-reading the checkpoint replays nothing).
+	for i := range resumed {
+		job.publish(&resumed[i])
+	}
 	p, err = s.cfg.BuildPool(ctx, bcfg, bench.RunOptions{
 		Resume: resumed,
 		Sink:   &jobSink{inner: w, job: job},
@@ -714,6 +739,7 @@ type jobSink struct {
 func (s *jobSink) Append(rec *bench.Record) error {
 	err := s.inner.Append(rec)
 	s.job.addRecord()
+	s.job.publish(rec)
 	return err
 }
 
@@ -725,6 +751,8 @@ func (s *Server) finishDone(job *Job, p *bench.Pool) {
 	job.cost = cost
 	job.err = ""
 	job.category = ""
+	job.adoptPoolLocked(p)
+	job.notifyLocked()
 	job.mu.Unlock()
 	s.chargeTenant(job.Tenant, cost)
 	s.persist(job)
@@ -745,6 +773,7 @@ func (s *Server) finishFailed(job *Job, err error) {
 	job.state = StateFailed
 	job.err = err.Error()
 	job.category = category
+	job.notifyLocked()
 	job.mu.Unlock()
 	s.persist(job)
 	s.mFailed.Inc()
@@ -862,6 +891,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	// Workers are quiesced, so no job is writing evaluations anymore.
 	s.closeStore()
+	// Terminate live event streams: subscribers see a closed channel and
+	// finish their responses instead of waiting on a silent span stream.
+	s.bcast.Close()
 	close(s.drained)
 	s.cfg.Logf("serve: drained")
 	return nil
