@@ -20,28 +20,30 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-# bench runs the top-level Benchmark* functions plus the numeric-kernel
-# micro-benchmarks and appends the parsed results (name, ns/op, allocs/op)
-# to the BENCH_PR5.json trajectory so successive PRs can compare (earlier
-# history lives in BENCH_PR2.json), and mirrors the run into the
-# github-action-benchmark dashboard data at dev/bench/data.js. Override
-# BENCHTIME for steadier numbers, e.g. `make bench BENCHTIME=3x
-# BENCH_NOTE="after kernel rewrite"`.
+# bench runs the top-level Benchmark* functions plus the numeric-kernel and
+# fan-out scheduling micro-benchmarks and appends the parsed results (name,
+# ns/op, allocs/op) to the BENCH_PR10.json trajectory so successive PRs can
+# compare (earlier history lives in BENCH_PR2.json and BENCH_PR5.json), and
+# mirrors the run into the github-action-benchmark dashboard data at
+# dev/bench/data.js. Override BENCHTIME for steadier numbers, e.g. `make
+# bench BENCHTIME=3x BENCH_NOTE="after kernel rewrite"`.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ \
-		. ./internal/linalg ./internal/ranking ./internal/model \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json -note "$(BENCH_NOTE)" \
-			-gha dev/bench/data.js -seed BENCH_PR2.json,BENCH_PR5.json \
+		. ./internal/linalg ./internal/ranking ./internal/model ./internal/serve \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR10.json -note "$(BENCH_NOTE)" \
+			-gha dev/bench/data.js -seed BENCH_PR2.json,BENCH_PR5.json,BENCH_PR10.json \
 			-commit "$(GIT_SHA)" -commit-message "$(GIT_MSG)"
 
 # bench-compare is the CI regression gate: it runs the same benchmarks but
 # writes nothing — the run is diffed against the newest tracked value of
 # each series in dev/bench/data.js and the target fails when ns/op or
-# allocs/op grew by more than 10% (tune with -compare-threshold).
+# allocs/op grew by more than 10% (tune with -compare-threshold). The
+# fan-out scheduling benchmarks measure wall clock over real sleeps, so
+# they are tracked for trajectory but exempt from the gate.
 bench-compare:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ \
-		. ./internal/linalg ./internal/ranking ./internal/model \
-		| $(GO) run ./cmd/benchjson -compare dev/bench/data.js
+		. ./internal/linalg ./internal/ranking ./internal/model ./internal/serve \
+		| $(GO) run ./cmd/benchjson -compare dev/bench/data.js -compare-skip '^BenchmarkFanout'
 
 # dfsd builds the selection-service daemon (see README "Serving").
 dfsd:

@@ -1,5 +1,7 @@
 package main
 
+import "regexp"
+
 // The -compare gate: diff a fresh `make bench` run against the tracked
 // github-action-benchmark trajectory (dev/bench/data.js) and fail CI when a
 // tracked series regresses beyond the threshold, so the gate follows the
@@ -31,9 +33,11 @@ func latestValues(d ghaData) map[string]ghaBench {
 // every ns/op and allocs/op series whose relative increase exceeds
 // threshold is a regression. Series the trajectory has never tracked are
 // returned as missing (informational, not failures) so a new benchmark
-// doesn't break the gate before its first recorded entry; checked counts
-// the series actually compared.
-func compareRun(results []BenchResult, d ghaData, threshold float64) (regs []regression, missing []string, checked int) {
+// doesn't break the gate before its first recorded entry; series matching
+// skip are returned as skipped (tracked for trajectory, exempt from the
+// gate — wall-clock scheduling benchmarks whose run-to-run variance dwarfs
+// the threshold); checked counts the series actually compared.
+func compareRun(results []BenchResult, d ghaData, threshold float64, skip *regexp.Regexp) (regs []regression, missing, skipped []string, checked int) {
 	base := latestValues(d)
 	type series struct {
 		name string
@@ -46,6 +50,10 @@ func compareRun(results []BenchResult, d ghaData, threshold float64) (regs []reg
 			checks = append(checks, series{r.Name + " - allocs/op", float64(r.AllocsPerOp), "allocs/op"})
 		}
 		for _, c := range checks {
+			if skip != nil && skip.MatchString(c.name) {
+				skipped = append(skipped, c.name)
+				continue
+			}
 			b, ok := base[c.name]
 			if !ok {
 				missing = append(missing, c.name)
@@ -63,5 +71,5 @@ func compareRun(results []BenchResult, d ghaData, threshold float64) (regs []reg
 			}
 		}
 	}
-	return regs, missing, checked
+	return regs, missing, skipped, checked
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"testing"
+)
 
 // trajectory builds a two-entry history where BenchmarkA improved from 200
 // to 100 ns/op (3 allocs) and BenchmarkB sat at 50 ns/op — the gate must
@@ -24,7 +27,7 @@ func TestCompareRunCleanWithinThreshold(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 109, AllocsPerOp: 3}, // +9% < 10%
 		{Name: "BenchmarkB", NsPerOp: 40},                  // improvement
 	}
-	regs, missing, checked := compareRun(results, trajectory(), 0.10)
+	regs, missing, _, checked := compareRun(results, trajectory(), 0.10, nil)
 	if len(regs) != 0 {
 		t.Fatalf("expected no regressions, got %+v", regs)
 	}
@@ -38,7 +41,7 @@ func TestCompareRunCleanWithinThreshold(t *testing.T) {
 
 func TestCompareRunFlagsTimeRegression(t *testing.T) {
 	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 3}}
-	regs, _, _ := compareRun(results, trajectory(), 0.10)
+	regs, _, _, _ := compareRun(results, trajectory(), 0.10, nil)
 	if len(regs) != 1 {
 		t.Fatalf("expected exactly 1 regression, got %+v", regs)
 	}
@@ -53,7 +56,7 @@ func TestCompareRunFlagsTimeRegression(t *testing.T) {
 
 func TestCompareRunFlagsAllocRegression(t *testing.T) {
 	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 4}}
-	regs, _, _ := compareRun(results, trajectory(), 0.10)
+	regs, _, _, _ := compareRun(results, trajectory(), 0.10, nil)
 	if len(regs) != 1 || regs[0].Series != "BenchmarkA - allocs/op" {
 		t.Fatalf("expected one allocs/op regression, got %+v", regs)
 	}
@@ -63,7 +66,7 @@ func TestCompareRunUsesNewestEntry(t *testing.T) {
 	// 190 ns/op would be fine against the old 200 baseline but is a 90%
 	// regression against the newest tracked value of 100.
 	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 190, AllocsPerOp: 3}}
-	regs, _, _ := compareRun(results, trajectory(), 0.10)
+	regs, _, _, _ := compareRun(results, trajectory(), 0.10, nil)
 	if len(regs) != 1 || regs[0].Old != 100 {
 		t.Fatalf("gate must diff against the newest entry, got %+v", regs)
 	}
@@ -71,7 +74,7 @@ func TestCompareRunUsesNewestEntry(t *testing.T) {
 
 func TestCompareRunUntrackedSeriesIsNoteNotFailure(t *testing.T) {
 	results := []BenchResult{{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1e6}}
-	regs, missing, checked := compareRun(results, trajectory(), 0.10)
+	regs, missing, _, checked := compareRun(results, trajectory(), 0.10, nil)
 	if len(regs) != 0 {
 		t.Fatalf("untracked series must not fail the gate: %+v", regs)
 	}
@@ -80,9 +83,53 @@ func TestCompareRunUntrackedSeriesIsNoteNotFailure(t *testing.T) {
 	}
 }
 
+func TestCompareRunMixedTrackedAndUntracked(t *testing.T) {
+	// A run that both regresses a tracked series AND introduces a brand-new
+	// benchmark (the same-PR case the gate must tolerate): the regression is
+	// still flagged, the new series is only noted.
+	results := []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 3},
+		{Name: "BenchmarkFanoutMicroShards", NsPerOp: 5e8},
+	}
+	regs, missing, _, checked := compareRun(results, trajectory(), 0.10, nil)
+	if len(regs) != 1 || regs[0].Series != "BenchmarkA" {
+		t.Fatalf("tracked regression must survive untracked noise, got %+v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkFanoutMicroShards" {
+		t.Fatalf("missing = %v, want just the new benchmark", missing)
+	}
+	if checked != 2 { // A ns/op + A allocs/op; the new series is skipped
+		t.Fatalf("checked = %d, want 2", checked)
+	}
+}
+
+func TestCompareRunSkipExemptsSeriesFromGate(t *testing.T) {
+	// A tracked series matching -compare-skip regresses wildly yet must not
+	// fail the gate (the wall-clock fan-out benchmarks); an unmatched tracked
+	// regression in the same run still fails.
+	tr := trajectory()
+	tr.Entries[ghaSeries] = append(tr.Entries[ghaSeries], ghaEntry{Benches: []ghaBench{
+		{Name: "BenchmarkFanoutMicroShards", Value: 5e7, Unit: "ns/op"},
+	}})
+	results := []BenchResult{
+		{Name: "BenchmarkFanoutMicroShards", NsPerOp: 9e7}, // +80%, exempt
+		{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 3}, // +50%, gated
+	}
+	regs, missing, skipped, checked := compareRun(results, tr, 0.10, regexp.MustCompile(`^BenchmarkFanout`))
+	if len(regs) != 1 || regs[0].Series != "BenchmarkA" {
+		t.Fatalf("only the unmatched series may fail the gate, got %+v", regs)
+	}
+	if len(skipped) != 1 || skipped[0] != "BenchmarkFanoutMicroShards" {
+		t.Fatalf("skipped = %v, want just the fan-out series", skipped)
+	}
+	if len(missing) != 0 || checked != 2 {
+		t.Fatalf("missing = %v, checked = %d; want none missing, 2 checked", missing, checked)
+	}
+}
+
 func TestCompareRunEmptyTrajectory(t *testing.T) {
 	results := []BenchResult{{Name: "BenchmarkA", NsPerOp: 100}}
-	regs, missing, checked := compareRun(results, ghaData{Entries: map[string][]ghaEntry{}}, 0.10)
+	regs, missing, _, checked := compareRun(results, ghaData{Entries: map[string][]ghaEntry{}}, 0.10, nil)
 	if len(regs) != 0 || checked != 0 || len(missing) != 1 {
 		t.Fatalf("empty trajectory must be all-missing: regs=%v missing=%v checked=%d", regs, missing, checked)
 	}

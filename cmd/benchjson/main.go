@@ -25,9 +25,11 @@
 // given data.js and exits 1 when ns/op or allocs/op grew by more than
 // -compare-threshold (default 10%). Untracked series are notes, not
 // failures, so new benchmarks don't break the gate before their first
-// recorded entry:
+// recorded entry, and series matching -compare-skip are tracked for the
+// trajectory but never gated (wall-clock scheduling benchmarks whose
+// run-to-run variance dwarfs the threshold):
 //
-//	... | go run ./cmd/benchjson -compare dev/bench/data.js
+//	... | go run ./cmd/benchjson -compare dev/bench/data.js -compare-skip '^BenchmarkFanout'
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -70,6 +73,7 @@ func main() {
 	seedOnly := flag.Bool("seed-only", false, "rebuild the -gha file from -seed alone; stdin and -out are untouched")
 	compare := flag.String("compare", "", "gate mode: diff the stdin run against this data.js and exit 1 on regression; nothing is written")
 	compareThreshold := flag.Float64("compare-threshold", 0.10, "relative ns/op or allocs/op increase tolerated by -compare")
+	compareSkip := flag.String("compare-skip", "", "regexp of series -compare tracks but never fails on (wall-clock benchmarks too timing-dependent for the threshold)")
 	flag.Parse()
 
 	if *seedOnly {
@@ -102,9 +106,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		regs, missing, checked := compareRun(results, d, *compareThreshold)
+		var skipRE *regexp.Regexp
+		if *compareSkip != "" {
+			skipRE, err = regexp.Compile(*compareSkip)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -compare-skip:", err)
+				os.Exit(2)
+			}
+		}
+		regs, missing, skipped, checked := compareRun(results, d, *compareThreshold, skipRE)
 		for _, name := range missing {
 			fmt.Fprintf(os.Stderr, "benchjson: note: %q has no tracked history in %s\n", name, *compare)
+		}
+		for _, name := range skipped {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %q matches -compare-skip, tracked but not gated\n", name)
 		}
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION against %s (threshold %.0f%%):\n", *compare, *compareThreshold*100)
@@ -114,8 +129,8 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% across %d tracked series\n",
-			*compareThreshold*100, checked)
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% across %d tracked series (%d untracked, %d gate-exempt)\n",
+			*compareThreshold*100, checked, len(missing), len(skipped))
 		return
 	}
 

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/core"
 	"github.com/declarative-fs/dfs/internal/obs"
 	"github.com/declarative-fs/dfs/internal/serve"
@@ -62,6 +63,8 @@ func main() {
 	traceKeep := flag.Int("trace-keep", 8, "rotated -trace files to keep; older ones are deleted")
 	fanout := flag.String("fanout", "", "comma-separated worker daemon URLs; when set this daemon is a coordinator that shards every job across them instead of executing locally")
 	fanoutPoll := flag.Duration("fanout-poll", 150*time.Millisecond, "coordinator's worker-status poll interval")
+	fanoutShards := flag.Int("fanout-shards", 0, "micro-shards per worker for -fanout jobs (0 = 4; 1 reproduces static one-shard-per-worker partitioning)")
+	faultDelay := flag.Duration("fault-delay", 0, "dev-only throttle: sleep this long before each pool build, simulating a slow worker (CI's heterogeneous fan-out smoke)")
 	flag.Parse()
 
 	budgets, err := parseBudgets(*tenantBudgets)
@@ -113,14 +116,36 @@ func main() {
 			os.Exit(2)
 		}
 		fo := &serve.Fanout{
-			Workers:  workerURLs,
-			SpoolDir: filepath.Join(*data, "fanout-spool"),
-			Retry:    retry,
-			Poll:     *fanoutPoll,
-			Logf:     logger.Printf,
+			Workers:         workerURLs,
+			SpoolDir:        filepath.Join(*data, "fanout-spool"),
+			Retry:           retry,
+			Poll:            *fanoutPoll,
+			ShardsPerWorker: *fanoutShards,
+			Logf:            logger.Printf,
 		}
 		buildPool = fo.BuildPool
 		logger.Printf("dfsd coordinating %d workers: %s", len(workerURLs), strings.Join(workerURLs, " "))
+	}
+	if *faultDelay > 0 {
+		// A deliberately slowed daemon for heterogeneous-fleet testing: the
+		// delay precedes each pool build, so every shard job this worker takes
+		// costs an extra *faultDelay of wall clock.
+		inner := buildPool
+		if inner == nil {
+			inner = bench.BuildPoolResumed
+		}
+		delay := *faultDelay
+		buildPool = func(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return inner(ctx, cfg, opts)
+		}
+		logger.Printf("dfsd fault-delay: %s before every pool build", delay)
 	}
 
 	srv, err := serve.New(serve.Config{

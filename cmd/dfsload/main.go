@@ -15,6 +15,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +41,7 @@ func main() {
 	minShed := flag.Float64("min-shed", -1, "fail (exit 1) unless the shed rate (429s / total) is at least this; negative disables")
 	verify := flag.Bool("verify", false, "after the burst, poll every accepted job to a terminal state and fail on lost jobs")
 	verifyTimeout := flag.Duration("verify-timeout", 5*time.Minute, "how long -verify waits for the accepted backlog to finish")
+	stream := flag.Int("stream", 0, "follow the live result stream (?follow=1) of this many accepted jobs and fail unless each matches the final CSV byte-for-byte")
 	flag.Parse()
 
 	base := strings.TrimSuffix(*addr, "/")
@@ -135,7 +138,116 @@ func main() {
 			fmt.Printf("dfsload: verified %d accepted jobs all reached a terminal state (zero lost)\n", len(accepted))
 		}
 	}
+	if *stream > 0 {
+		ids := accepted
+		if len(ids) > *stream {
+			ids = ids[:*stream]
+		}
+		rows, bad := streamResults(base, ids, *verifyTimeout)
+		if bad > 0 {
+			fmt.Printf("dfsload: FAIL %d/%d followed result streams diverged from the final CSV\n", bad, len(ids))
+			exit = 1
+		} else {
+			fmt.Printf("dfsload: followed %d live result streams (%d CSV rows), all byte-identical to the final results\n", len(ids), rows)
+		}
+	}
 	os.Exit(exit)
+}
+
+// streamResults follows each job's live result stream to its end and
+// compares the streamed bytes against the terminal CSV dump — the streaming
+// contract is that a followed stream of a job that finishes done IS the
+// final CSV, streamed early. Returns total CSV data rows streamed and how
+// many jobs violated the contract.
+func streamResults(base string, ids []string, timeout time.Duration) (rows, bad int) {
+	// No per-request timeout: a followed stream legitimately stays open for
+	// the job's whole runtime. The context bounds the total wait instead.
+	client := &http.Client{}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			streamed, state, err := followResult(ctx, client, base, id)
+			if err != nil {
+				fmt.Printf("dfsload: job %s: follow stream: %v\n", id, err)
+				mu.Lock()
+				bad++
+				mu.Unlock()
+				return
+			}
+			if state != "done" {
+				fmt.Printf("dfsload: job %s: stream ended in state %q, not done\n", id, state)
+				mu.Lock()
+				bad++
+				mu.Unlock()
+				return
+			}
+			final, err := fetchResult(ctx, client, base, id)
+			if err != nil {
+				fmt.Printf("dfsload: job %s: final result: %v\n", id, err)
+				mu.Lock()
+				bad++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			if !bytes.Equal(streamed, final) {
+				fmt.Printf("dfsload: job %s: streamed CSV (%d bytes) != final CSV (%d bytes)\n", id, len(streamed), len(final))
+				bad++
+			} else {
+				rows += bytes.Count(streamed, []byte("\n")) - 1 // minus header
+			}
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	return rows, bad
+}
+
+// followResult reads GET /jobs/{id}/result?follow=1 to its end, returning
+// the streamed body and the X-Dfs-Job-State trailer.
+func followResult(ctx context.Context, client *http.Client, base, id string) ([]byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/result?follow=1", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	return body, resp.Trailer.Get("X-Dfs-Job-State"), nil
+}
+
+func fetchResult(ctx context.Context, client *http.Client, base, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // verifyAccepted polls every accepted job until it reaches a terminal state

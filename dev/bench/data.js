@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1785971450000,
+  "lastUpdate": 1786194768128,
   "repoUrl": "",
   "entries": {
     "Go Benchmark": [
@@ -1358,6 +1358,575 @@ window.BENCHMARK_DATA = {
             "value": 177,
             "unit": "allocs/op",
             "extra": "1 times"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "42099a3",
+          "message": "Stream job results, fan one job out across worker daemons, and fix serving-path bugs",
+          "timestamp": "2026-08-08T13:12:48Z"
+        },
+        "date": 1786194768128,
+        "tool": "go",
+        "benches": [
+          {
+            "name": "BenchmarkScenarioPool",
+            "value": 668661992,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - B/op",
+            "value": 79031400,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkScenarioPool - allocs/op",
+            "value": 679787,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkScenarioPoolWarmStore",
+            "value": 1359158,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkScenarioPoolWarmStore - B/op",
+            "value": 643952,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkScenarioPoolWarmStore - allocs/op",
+            "value": 433,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable3",
+            "value": 5716751,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable3 - B/op",
+            "value": 5129074,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable3 - allocs/op",
+            "value": 63205,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable4",
+            "value": 74961,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable4 - B/op",
+            "value": 8168,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable4 - allocs/op",
+            "value": 328,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable5",
+            "value": 140451,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable5 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable5 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable6",
+            "value": 74624,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable6 - B/op",
+            "value": 6288,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable6 - allocs/op",
+            "value": 43,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable7",
+            "value": 12708503,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable7 - B/op",
+            "value": 2232141,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable7 - allocs/op",
+            "value": 13995,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable8",
+            "value": 160447,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable8 - B/op",
+            "value": 18720,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable8 - allocs/op",
+            "value": 662,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable9",
+            "value": 7498528,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable9 - B/op",
+            "value": 5108989,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTable9 - allocs/op",
+            "value": 62752,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure1",
+            "value": 22961930,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - B/op",
+            "value": 2555642,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure1 - allocs/op",
+            "value": 13535,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure4",
+            "value": 6134549,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - B/op",
+            "value": 5106464,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure4 - allocs/op",
+            "value": 62598,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure5",
+            "value": 9102150620,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - B/op",
+            "value": 339064424,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFigure5 - allocs/op",
+            "value": 2908102,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning",
+            "value": 158726674,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - B/op",
+            "value": 3566544,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationPruning - allocs/op",
+            "value": 8142,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating",
+            "value": 1724497503,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - B/op",
+            "value": 46221368,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationFloating - allocs/op",
+            "value": 258521,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE",
+            "value": 108129532,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - B/op",
+            "value": 4410781,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkAblationTPE - allocs/op",
+            "value": 21364,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkSelect",
+            "value": 15425111,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkSelect - B/op",
+            "value": 209056,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkSelect - allocs/op",
+            "value": 372,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkEigenSym32",
+            "value": 1079097,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkEigenSym32 - B/op",
+            "value": 25544,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkEigenSym32 - allocs/op",
+            "value": 11,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKNN/heap",
+            "value": 17829,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKNN/heap - B/op",
+            "value": 96,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKNN/heap - allocs/op",
+            "value": 1,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKNN/reference",
+            "value": 181814,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKNN/reference - B/op",
+            "value": 16568,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKNN/reference - allocs/op",
+            "value": 5,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKMeans",
+            "value": 1660319,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKMeans - B/op",
+            "value": 42400,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkKMeans - allocs/op",
+            "value": 78,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/heap",
+            "value": 6272507,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/heap - B/op",
+            "value": 32560,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/heap - allocs/op",
+            "value": 41,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/reference",
+            "value": 6681663,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/reference - B/op",
+            "value": 1125360,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefFRank/reference - allocs/op",
+            "value": 623,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkMCFSRank",
+            "value": 281570602,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkMCFSRank - B/op",
+            "value": 1710589,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkMCFSRank - allocs/op",
+            "value": 57,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkChi2",
+            "value": 15401,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkChi2 - B/op",
+            "value": 6752,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkChi2 - allocs/op",
+            "value": 3,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefF",
+            "value": 644855,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefF - B/op",
+            "value": 13786,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkReliefF - allocs/op",
+            "value": 39,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkMCFS",
+            "value": 129919329,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkMCFS - B/op",
+            "value": 1686002,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkMCFS - allocs/op",
+            "value": 54,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/fused",
+            "value": 7801416,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/fused - B/op",
+            "value": 3130,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/fused - allocs/op",
+            "value": 5,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/reference",
+            "value": 7582669,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/reference - B/op",
+            "value": 320,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkLogRegFit/reference - allocs/op",
+            "value": 2,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTreeFit",
+            "value": 340775,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTreeFit - B/op",
+            "value": 58496,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkTreeFit - allocs/op",
+            "value": 172,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFanoutStaticShards",
+            "value": 90839071,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFanoutStaticShards - B/op",
+            "value": 1181717,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFanoutStaticShards - allocs/op",
+            "value": 7173,
+            "unit": "allocs/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFanoutMicroShards",
+            "value": 49501203,
+            "unit": "ns/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFanoutMicroShards - B/op",
+            "value": 1742797,
+            "unit": "B/op",
+            "extra": "3 times"
+          },
+          {
+            "name": "BenchmarkFanoutMicroShards - allocs/op",
+            "value": 9142,
+            "unit": "allocs/op",
+            "extra": "3 times"
           }
         ]
       }

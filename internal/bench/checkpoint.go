@@ -34,6 +34,39 @@ type checkpointHeader struct {
 	Config  Config `json:"config"`
 }
 
+// EncodeCheckpointHeader renders the one-line checkpoint header for cfg
+// (defaulted, exactly as CreateCheckpoint writes it), newline-terminated.
+// The serving layer uses it to open a checkpoint-format NDJSON stream over
+// HTTP without a file behind it.
+func EncodeCheckpointHeader(cfg Config) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(checkpointHeader{Magic: checkpointMagic, Version: checkpointVersion, Config: cfg})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode header: %w", err)
+	}
+	return append(hdr, '\n'), nil
+}
+
+// DecodeCheckpointHeader parses one header line (as produced by
+// EncodeCheckpointHeader or found at the top of a checkpoint file),
+// rejecting foreign magics and versions.
+func DecodeCheckpointHeader(line []byte) (Config, error) {
+	var hdr checkpointHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return Config{}, fmt.Errorf("checkpoint: bad header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return Config{}, fmt.Errorf("checkpoint: not a pool checkpoint (magic %q)", hdr.Magic)
+	}
+	if hdr.Version != checkpointVersion {
+		return Config{}, fmt.Errorf("checkpoint: header version %d, this build reads %d", hdr.Version, checkpointVersion)
+	}
+	return hdr.Config, nil
+}
+
 // identityMismatch explains the first semantic difference between the
 // config a checkpoint was written under and the config trying to use it.
 // Workers, KernelWorkers, Label, and NoEvalSharing are excluded: they

@@ -497,6 +497,20 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 	}
 	scn.KernelWorkers = cfg.KernelWorkers
 
+	// Store-aware scheduling: a warm durable store may hold this exact
+	// scenario's completed record (same content hash, pool seed, scenario ID,
+	// budget — see recordCacheKey). Replaying it skips the strategy scheduler
+	// and featurization entirely; the JSON round trip is bit-exact, so the
+	// replayed record is identical to a live run's.
+	var scnHash uint64
+	if store != nil && !cfg.NoEvalSharing {
+		scnHash = scn.ContentHash()
+		if cached, ok := lookupCachedRecord(store, cfg, scnHash, i); ok {
+			po.durableSkip(ctx, &cached)
+			return cached, nil
+		}
+	}
+
 	// Every strategy of the scenario runs under the same seed against a
 	// shared trained-subset memo: identical subsets train once, physically,
 	// while every member's simulated meter still pays full price (see
@@ -510,7 +524,7 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 			// the scenario hash, so only a scenario with identical split
 			// bytes, constraints, and seed (a rerun, a resumed shard, a
 			// restarted daemon job) ever shares entries.
-			memo.AttachDurable(store, scn.ContentHash())
+			memo.AttachDurable(store, scnHash)
 		}
 	}
 	names := append([]string{core.OriginalFeaturesName}, core.StrategyNames...)
@@ -566,6 +580,11 @@ func runScenario(ctx context.Context, cfg Config, cache *datasetCache, i int, sl
 		return rec, nil
 	}
 	rec.MetaX = metaX
+	if store != nil && !cfg.NoEvalSharing {
+		// Cache the finished record so later pools (or a warm fan-out over a
+		// shared store) replay the whole scenario without training.
+		putCachedRecord(store, cfg, scnHash, &rec)
+	}
 	return rec, nil
 }
 
@@ -597,6 +616,7 @@ type poolObs struct {
 	degraded          *obs.Counter // strategy casualties absorbed by degradation
 	resumed           *obs.Counter // scenarios adopted from a checkpoint
 	executed          *obs.Counter // scenarios run live (resumed+executed == shard size)
+	skippedDurable    *obs.Counter // scenarios replayed whole from the durable store
 	ckptWrites        *obs.Counter
 	ckptWriteErrs     *obs.Counter
 }
@@ -631,6 +651,7 @@ func newPoolObs(ctx context.Context, cfg Config) (*poolObs, context.Context) {
 		degraded:          m.Counter("pool.degraded_strategies"),
 		resumed:           m.Counter("pool.checkpoint.resumed"),
 		executed:          m.Counter("pool.scenarios_executed"),
+		skippedDurable:    m.Counter("pool.schedule.skipped_durable"),
 		ckptWrites:        m.Counter("pool.checkpoint.writes"),
 		ckptWriteErrs:     m.Counter("pool.checkpoint.write_errors"),
 	}
@@ -649,6 +670,21 @@ func (p *poolObs) resumeSkip(rec *Record) {
 	p.rt.Tracer().Event(p.span, "resume_skip",
 		obs.Int("scenario_id", int64(rec.ID)),
 		obs.Bool("failed", rec.Failed()))
+}
+
+// durableSkip records a scenario whose whole record was replayed from the
+// durable store without entering the strategy scheduler. The scenario still
+// counts as executed (it completed in this process — skipping is a cache
+// effect, like memo hits, not a resume), so the resumed+executed invariant
+// is untouched; the counter and span event expose how much work the warm
+// store saved.
+func (p *poolObs) durableSkip(ctx context.Context, rec *Record) {
+	if p == nil {
+		return
+	}
+	p.skippedDurable.Inc()
+	p.rt.Tracer().Event(obs.SpanFromContext(ctx), "skipped_durable",
+		obs.Int("scenario_id", int64(rec.ID)))
 }
 
 // scenarioExecuted counts a scenario completed live in this process, the

@@ -157,9 +157,7 @@ func TestPoolDurableObsInvariant(t *testing.T) {
 		hitsMem := snap.Counter("evalstore.hits_mem")
 		hitsDisk := snap.Counter("evalstore.hits_disk")
 		misses := snap.Counter("evalstore.misses")
-		if lookups == 0 {
-			t.Fatalf("%s: no evalstore lookups recorded", tag)
-		}
+		skipped := snap.Counter("pool.schedule.skipped_durable")
 		if lookups != hitsMem+hitsDisk+misses {
 			t.Fatalf("%s: evalstore.lookups %d != hits_mem %d + hits_disk %d + misses %d",
 				tag, lookups, hitsMem, hitsDisk, misses)
@@ -177,15 +175,27 @@ func TestPoolDurableObsInvariant(t *testing.T) {
 		}
 		switch tag {
 		case "cold":
+			if lookups == 0 {
+				t.Fatal("cold: no evalstore lookups recorded")
+			}
 			if hitsDisk != 0 {
 				t.Fatalf("cold: unexpected disk hits: %d", hitsDisk)
 			}
-		case "warm":
-			if hitsDisk == 0 {
-				t.Fatal("warm: no disk hits recorded")
+			if skipped != 0 {
+				t.Fatalf("cold: %d scenarios skipped against an empty store", skipped)
 			}
-			if misses != 0 {
-				t.Fatalf("warm: %d misses, want 0", misses)
+		case "warm":
+			// Store-aware scheduling replays every completed scenario straight
+			// from the durable record cache: nothing enters the strategy
+			// scheduler, so nothing trains and nothing even looks up.
+			if skipped != int64(cfg.Scenarios) {
+				t.Fatalf("warm: skipped_durable = %d, want %d", skipped, cfg.Scenarios)
+			}
+			if trained := snap.Counter("evals.trained"); trained != 0 {
+				t.Fatalf("warm: %d evals trained, want 0", trained)
+			}
+			if lookups != 0 {
+				t.Fatalf("warm: %d evalstore lookups, want 0 (scenarios replayed whole)", lookups)
 			}
 		}
 	}

@@ -63,6 +63,10 @@ type Result struct {
 	Test       constraint.Scores
 	TestCustom []float64
 	HasTest    bool
+	// Blob carries an opaque payload for non-evaluation namespaces keyed
+	// under a reserved Kind (the "rank:<family>" ranking cache, bench's
+	// "record:v1" completed-scenario cache). Evaluation entries leave it nil.
+	Blob []byte
 }
 
 const (
@@ -98,6 +102,7 @@ type recordLine struct {
 	Test       constraint.Scores `json:"test"`
 	TestCustom []float64         `json:"testc,omitempty"`
 	HasTest    bool              `json:"has_test,omitempty"`
+	Blob       []byte            `json:"blob,omitempty"` // base64 via encoding/json
 }
 
 // Options configure Open.
@@ -215,9 +220,27 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// compactLockName is the directory-wide lock file: compactors hold it
+// exclusively while rewriting and deleting sealed segments; scans hold it
+// shared so the segment list they glob stays readable end to end.
+const compactLockName = "compact.lock"
+
 // scan loads every existing segment into the index and returns the segment
 // paths plus the highest sequence number seen.
 func (s *Store) scan() ([]string, int, error) {
+	// A concurrent compactor folds sealed segments into a merged segment
+	// created AFTER our ReadDir, then deletes the originals — without
+	// exclusion, this scan would tolerate the deletions (loadSegment treats
+	// a vanished file as empty) and silently lose every entry that moved.
+	// Holding the compact lock shared for the scan's duration blocks that:
+	// compactors take it exclusively (and skip quietly when scans hold it).
+	if lock, err := os.OpenFile(filepath.Join(s.dir, compactLockName), os.O_CREATE|os.O_RDONLY, 0o644); err == nil {
+		if flockShared(lock) == nil {
+			defer lock.Close() // closing the descriptor releases the lock
+		} else {
+			lock.Close()
+		}
+	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, 0, fmt.Errorf("evalstore: %w", err)
@@ -301,6 +324,7 @@ func (s *Store) loadSegment(path string) error {
 		r := Result{
 			Val: rec.Val, ValCustom: rec.ValCustom,
 			Test: rec.Test, TestCustom: rec.TestCustom, HasTest: rec.HasTest,
+			Blob: rec.Blob,
 		}
 		s.merge(k, r)
 	}
@@ -359,7 +383,7 @@ func (s *Store) createSegment(seq int) error {
 // directory-wide compact.lock serializes compactors; losing that race — or
 // finding fewer than two sealed segments — skips quietly.
 func (s *Store) compact(segs []string, seq int) (int, error) {
-	lock, err := os.OpenFile(filepath.Join(s.dir, "compact.lock"), os.O_CREATE|os.O_WRONLY, 0o644)
+	lock, err := os.OpenFile(filepath.Join(s.dir, compactLockName), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, err
 	}
@@ -466,6 +490,7 @@ func marshalRecord(k Key, r Result) ([]byte, error) {
 		Kind: k.Kind, HPO: k.HPO, Eps: k.Eps, Seed: k.Seed,
 		Val: r.Val, ValCustom: r.ValCustom,
 		Test: r.Test, TestCustom: r.TestCustom, HasTest: r.HasTest,
+		Blob: r.Blob,
 	})
 	if err != nil {
 		return nil, err

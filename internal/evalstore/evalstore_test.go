@@ -282,6 +282,68 @@ func TestStoreCompactionSparesLiveSegments(t *testing.T) {
 	}
 }
 
+// TestStoreCompactionConcurrentReaders races compacting opens against plain
+// reader opens over a directory of many sealed segments: every handle must
+// observe the complete entry set — no entry lost to a segment deleted
+// mid-scan, none duplicated — regardless of who wins the compact lock.
+// (Without the shared scan lock, a reader that listed the directory before a
+// compactor merged-and-deleted the sealed segments would silently read an
+// empty store.)
+func TestStoreCompactionConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	const writers, perWriter = 10, 8
+	const total = writers * perWriter
+	for w := 0; w < writers; w++ {
+		s, err := Open(dir, Options{CompactAt: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < perWriter; i++ {
+			k := w*perWriter + i
+			s.Put(testKey(k), testResult(k))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Half the concurrent opens are eager compactors, half plain readers.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := Options{CompactAt: -1}
+			if g%2 == 0 {
+				opts.CompactAt = 2
+			}
+			s, err := Open(dir, opts)
+			if err != nil {
+				t.Errorf("handle %d: %v", g, err)
+				return
+			}
+			defer s.Close()
+			if got := s.Stats().Entries; got != total {
+				t.Errorf("handle %d: loaded %d entries, want %d", g, got, total)
+				return
+			}
+			for k := 0; k < total; k++ {
+				if got, ok := s.Lookup(testKey(k)); !ok || !reflect.DeepEqual(got, testResult(k)) {
+					t.Errorf("handle %d: key %d lost around compaction (ok=%v)", g, k, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the dust settles, a cold open still holds the full set.
+	r := openT(t, dir, Options{CompactAt: -1})
+	if st := r.Stats(); st.Entries != total {
+		t.Fatalf("final reopen: %s, want %d entries", st, total)
+	}
+}
+
 // TestStoreConcurrentStores drives two handles on one directory from many
 // goroutines (run under -race): cross-process sharing reduced to one process,
 // since flock and O_EXCL behave identically either way.

@@ -16,3 +16,9 @@ func flockExclusive(f interface{ Fd() uintptr }) error {
 func flockTryExclusive(f interface{ Fd() uintptr }) error {
 	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
 }
+
+// flockShared takes a blocking shared advisory lock: any number of holders
+// coexist, but an exclusive lock (a running compactor) excludes them all.
+func flockShared(f interface{ Fd() uintptr }) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultEWMAAlpha weights a new observation at 30%: reactive enough that a
+// worker slowing down mid-job shifts its estimate within a few shards, damped
+// enough that one noisy measurement does not flip a scheduling decision.
+const defaultEWMAAlpha = 0.3
+
+// RateEWMA tracks an exponentially weighted moving average of a rate —
+// events per second — from (count, elapsed) observations. The first
+// observation seeds the average directly; until then Rate reports 0, which
+// callers treat as "no estimate yet". Safe for concurrent use.
+type RateEWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	rate  float64
+	n     int
+}
+
+// NewRateEWMA returns a rate tracker with the given smoothing factor in
+// (0, 1]; values outside that range (including 0) fall back to the default.
+func NewRateEWMA(alpha float64) *RateEWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = defaultEWMAAlpha
+	}
+	return &RateEWMA{alpha: alpha}
+}
+
+// Observe folds one measurement of count events over elapsed time into the
+// average. Non-positive elapsed or negative count observations are dropped —
+// they carry no rate information.
+func (e *RateEWMA) Observe(count float64, elapsed time.Duration) {
+	if elapsed <= 0 || count < 0 {
+		return
+	}
+	v := count / elapsed.Seconds()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.rate = v
+	} else {
+		e.rate = e.alpha*v + (1-e.alpha)*e.rate
+	}
+	e.n++
+}
+
+// Rate returns the current estimate in events per second, 0 before the
+// first observation.
+func (e *RateEWMA) Rate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rate
+}
+
+// Samples returns how many observations have been folded in.
+func (e *RateEWMA) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}

@@ -10,22 +10,48 @@ package serve
 // slow pool builder. Workers are plain dfsd processes with no special mode:
 // the coordinator submits shard jobs (JobSpec.ShardIndex/ShardCount, the
 // round-robin partition scenario i % count == index) over the public HTTP
-// API, polls them, and downloads each completed shard's checkpoint — the
-// same JSONL transfer format a local resume reads — via
-// GET /jobs/{id}/checkpoint. Determinism does the heavy lifting: a shard
+// API and merges their records. Determinism does the heavy lifting: a shard
 // job recomputed on a different worker (or resubmitted after a worker died)
 // produces byte-identical records, so reassignment needs no state handoff.
 //
+// Scheduling is a micro-shard work queue, not static partitioning: the job
+// splits into ~ShardsPerWorker×len(Workers) small shards (capped by the
+// scenario count) that workers *pull* as they finish, so a fast worker
+// naturally completes more shards and the job's wall clock tracks the
+// fleet's aggregate speed instead of its slowest member. Micro-shard
+// membership depends only on the spec (scenario i % count == index), never
+// on observed speed, so the partition is deterministic and a retried shard
+// is byte-identical wherever it lands. Observed per-worker throughput
+// (records/sec EWMA) sizes later claims — a worker measuring at or above
+// the fleet mean pipelines two shards at once while the backlog lasts — and
+// orders the retry rotation: a requeued shard is never handed straight back
+// to the worker that just failed it, and measurably slow workers defer
+// retries to faster peers. A /healthz probe gates every claim, so dispatch
+// only targets live, serving workers; a worker that fails pollFailLimit
+// consecutive probes retires from this attempt (the server's job-level
+// retry re-probes it later).
+//
+// Results stream *through* the coordinator while shards run: each dispatch
+// tails the worker's GET /jobs/{id}/checkpoint?follow=1 NDJSON stream and
+// feeds every record into the merge map and opts.Sink the moment it
+// arrives, so the coordinator's own checkpoint — and its ?follow=1
+// clients — fill in record-sized steps. A broken stream falls back to the
+// completion-time checkpoint download (poll status, then
+// GET /jobs/{id}/checkpoint into the spool dir).
+//
 // Failure semantics per shard: transport errors, 429/503 rejections, a
 // worker job ending drained, or a run of failed polls are transient — the
-// shard waits out the coordinator's RetryPolicy backoff and is reassigned to
-// the next worker in rotation (covering both overloaded and dead workers). A
-// 400 rejection or a worker job ending failed is permanent and fails the
-// whole job with the worker's typed reason. Records land in the
-// coordinator's own checkpoint as shards complete, so a coordinator crash or
-// drain resumes by re-running only the shards with missing records.
+// shard requeues at the front and the next live worker picks it up, while
+// the failing worker backs off under the coordinator's RetryPolicy. A 400
+// rejection or a worker job ending failed is permanent and fails the whole
+// job with the worker's typed reason. Records land in the coordinator's own
+// checkpoint as they stream, so a coordinator crash or drain resumes by
+// re-running only the shards with missing records; spool files are
+// garbage-collected once the merge completes.
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,32 +63,47 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/declarative-fs/dfs/internal/bench"
 	"github.com/declarative-fs/dfs/internal/core"
+	"github.com/declarative-fs/dfs/internal/obs"
 )
+
+// defaultShardsPerWorker is the micro-shard multiplier: small enough that
+// per-shard submit/stream overhead stays negligible, large enough that a 4×
+// slower worker strands at most ~1/4 of one worker-share of work behind it.
+const defaultShardsPerWorker = 4
 
 // Fanout is a PoolBuilder that executes a job by sharding it across worker
 // daemons. Use it as Config.BuildPool on the coordinator server.
 type Fanout struct {
 	// Workers are the base URLs of the worker daemons (e.g.
-	// "http://127.0.0.1:8101"). Required, at least one. One shard is created
-	// per worker (fewer when the job has fewer scenarios than workers).
+	// "http://127.0.0.1:8101"). Required, at least one.
 	Workers []string
-	// SpoolDir receives downloaded shard checkpoints. Required; created if
-	// absent. Files are removed after a successful merge.
+	// SpoolDir receives checkpoint downloads on the stream-fallback path.
+	// Required; created if absent. Files are removed after a successful
+	// merge.
 	SpoolDir string
-	// Retry schedules per-shard reassignment after transient worker
-	// failures; the zero value means core.DefaultTransientRetries immediate
-	// retries.
+	// Retry bounds per-shard reassignment attempts and paces a failing
+	// worker's backoff; the zero value means core.DefaultTransientRetries
+	// immediate retries.
 	Retry core.RetryPolicy
-	// Poll is the status poll interval; 0 means 150ms.
+	// Poll is the status/health poll interval; 0 means 150ms.
 	Poll time.Duration
-	// Client is the HTTP client; nil means a private one with a 10s
-	// per-request timeout (polls and downloads are small; shard runtime
-	// lives in the poll loop, not in any single request).
+	// ShardsPerWorker targets ShardsPerWorker×len(Workers) micro-shards per
+	// job, capped by the scenario count. 0 means 4; 1 reproduces the old
+	// static one-shard-per-worker partitioning.
+	ShardsPerWorker int
+	// Client is the HTTP client for submits, polls, probes, and checkpoint
+	// downloads; nil means a private one with a 10s per-request timeout.
 	Client *http.Client
+	// StreamClient is the HTTP client for long-lived follow streams; nil
+	// derives one from Client's transport with no overall timeout (stream
+	// liveness is watchdogged against the worker's keepalive heartbeats
+	// instead).
+	StreamClient *http.Client
 	// Logf receives coordinator log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -71,8 +112,8 @@ type Fanout struct {
 // different worker (or a later retry) can cure: connection failures, 429/503
 // rejections, a drained worker job, dead-looking poll targets. It is
 // Transient so the server's job-level retry loop re-runs the fanout — which
-// resumes from the coordinator checkpoint and re-executes only the missing
-// shards.
+// resumes from the coordinator checkpoint, re-probes every worker, and
+// re-executes only the missing shards.
 type workerUnavailableError struct {
 	worker string
 	err    error
@@ -97,6 +138,20 @@ func (f *Fanout) client() *http.Client {
 	return &http.Client{Timeout: 10 * time.Second}
 }
 
+// streamClient returns the client used for follow streams: no overall
+// timeout (a shard legitimately runs for minutes), sharing Client's
+// transport when one is configured.
+func (f *Fanout) streamClient() *http.Client {
+	if f.StreamClient != nil {
+		return f.StreamClient
+	}
+	c := &http.Client{}
+	if f.Client != nil {
+		c.Transport = f.Client.Transport
+	}
+	return c
+}
+
 func (f *Fanout) poll() time.Duration {
 	if f.Poll > 0 {
 		return f.Poll
@@ -104,11 +159,18 @@ func (f *Fanout) poll() time.Duration {
 	return 150 * time.Millisecond
 }
 
-// BuildPool implements PoolBuilder: partition cfg's scenarios into one shard
-// per worker, run every shard whose records are not already in opts.Resume,
-// and merge. Newly arrived records are appended to opts.Sink as each shard
-// completes, so the coordinator's checkpoint (and live result stream) fill
-// in shard-sized steps.
+func (f *Fanout) shardsPerWorker() int {
+	if f.ShardsPerWorker > 0 {
+		return f.ShardsPerWorker
+	}
+	return defaultShardsPerWorker
+}
+
+// BuildPool implements PoolBuilder: partition cfg's scenarios into
+// micro-shards, run every shard whose records are not already in
+// opts.Resume through the pull queue, and merge. Records are appended to
+// opts.Sink as they stream off the workers, so the coordinator's checkpoint
+// (and live result stream) fill in record-sized steps.
 func (f *Fanout) BuildPool(ctx context.Context, cfg bench.Config, opts bench.RunOptions) (*bench.Pool, error) {
 	if len(f.Workers) == 0 {
 		return nil, fmt.Errorf("fanout: no workers configured")
@@ -125,89 +187,527 @@ func (f *Fanout) BuildPool(ctx context.Context, cfg bench.Config, opts bench.Run
 		return nil, fmt.Errorf("fanout: spool dir: %w", err)
 	}
 
-	count := len(f.Workers)
+	count := f.shardsPerWorker() * len(f.Workers)
 	if count > cfg.Scenarios {
 		count = cfg.Scenarios
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &fanoutJob{
+		f:        f,
+		cfg:      cfg,
+		sink:     opts.Sink,
+		count:    count,
+		cancel:   cancel,
+		obs:      newFanoutObs(ctx),
+		merged:   make(map[int]bench.Record, cfg.Scenarios),
+		attempts: make(map[int]int),
+		last:     make(map[int]string),
+		inflight: make(map[int]bool),
+		rates:    make(map[string]*obs.RateEWMA, len(f.Workers)),
 	}
 	done := make(map[int]bench.Record, len(opts.Resume))
 	for _, rec := range opts.Resume {
 		done[rec.ID] = rec
+		r.merged[rec.ID] = rec
 	}
-
-	var (
-		mu     sync.Mutex
-		merged = make(map[int]bench.Record, cfg.Scenarios)
-		wg     sync.WaitGroup
-		errs   = make([]error, count)
-	)
-	for id, rec := range done {
-		merged[id] = rec
-	}
-	sctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	for idx := 0; idx < count; idx++ {
-		shard := bench.ShardSpec{Index: idx, Count: count}
-		if shardComplete(shard, cfg.Scenarios, done) {
+		if shardComplete(bench.ShardSpec{Index: idx, Count: count}, cfg.Scenarios, done) {
 			f.logf("fanout: shard %d/%d already complete (resumed)", idx, count)
 			continue
 		}
-		wg.Add(1)
-		go func(idx int, shard bench.ShardSpec) {
-			defer wg.Done()
-			recs, err := f.runShard(sctx, cfg, shard)
-			if err != nil {
-				errs[idx] = err
-				cancel() // no point finishing sibling shards this attempt
-				return
-			}
-			mu.Lock()
-			for _, rec := range recs {
-				if _, ok := merged[rec.ID]; ok {
-					continue // resumed earlier; identical by determinism
-				}
-				merged[rec.ID] = rec
-				if opts.Sink != nil {
-					// Latched in the sink like a local build: a checkpoint
-					// failure surfaces at Close, not here.
-					rec := rec
-					_ = opts.Sink.Append(&rec)
-				}
-			}
-			mu.Unlock()
-			f.logf("fanout: shard %d/%d complete (%d records)", idx, count, len(recs))
-		}(idx, shard)
+		r.pending = append(r.pending, idx)
 	}
-	wg.Wait()
 
-	// Prefer the real failure over the context.Canceled its cancellation
-	// inflicted on sibling shards.
-	var firstErr error
-	for _, err := range errs {
-		if err == nil {
-			continue
+	if len(r.pending) > 0 {
+		var wg sync.WaitGroup
+		for _, worker := range f.Workers {
+			wg.Add(1)
+			go func(worker string) {
+				defer wg.Done()
+				r.workerLoop(sctx, worker)
+			}(worker)
 		}
-		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
-			firstErr = err
-		}
+		wg.Wait()
 	}
+
 	if ctx.Err() != nil {
 		// The caller's cancellation (drain, deadline) wins over whatever the
 		// shards reported while dying.
-		return &bench.Pool{Config: cfg, Records: sortedRecords(merged), Interrupted: true}, nil
+		return &bench.Pool{Config: cfg, Records: sortedRecords(r.merged), Interrupted: true}, nil
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	r.mu.Lock()
+	permErr, lastErr, mergedN := r.permErr, r.lastErr, len(r.merged)
+	r.mu.Unlock()
+	if permErr != nil {
+		return nil, permErr
 	}
-	pool := &bench.Pool{Config: cfg, Records: sortedRecords(merged)}
-	if len(pool.Records) != cfg.Scenarios {
-		return nil, fmt.Errorf("fanout: merged %d/%d records", len(pool.Records), cfg.Scenarios)
+	if mergedN != cfg.Scenarios {
+		// Every worker loop exited (retired or exhausted) with work left:
+		// transient, so the server-level retry re-probes the fleet and
+		// resumes from the coordinator checkpoint.
+		if lastErr == nil {
+			lastErr = errors.New("all workers retired")
+		}
+		return nil, &workerUnavailableError{worker: "fleet",
+			err: fmt.Errorf("merged %d/%d records: %w", mergedN, cfg.Scenarios, lastErr)}
 	}
-	// Every record is merged and checkpointed; the spool files are now
+	pool := &bench.Pool{Config: cfg, Records: sortedRecords(r.merged)}
+	// Every record is merged and checkpointed; spool files — including stale
+	// ones left by earlier attempts with a different shard count — are now
 	// redundant copies.
-	for idx := 0; idx < count; idx++ {
-		_ = os.Remove(f.spoolPath(cfg, idx, count))
-	}
+	f.gcSpool(cfg, r.obs)
 	return pool, nil
+}
+
+// gcSpool removes every spool checkpoint of this pool's label, covering
+// downloads from any shard layout a previous attempt used.
+func (f *Fanout) gcSpool(cfg bench.Config, fo *fanoutObs) {
+	matches, err := filepath.Glob(filepath.Join(f.SpoolDir, cfg.Label+"-shard-*"+ckptFileSuffix))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			fo.spoolRemoved()
+		}
+	}
+}
+
+// fanoutJob is the mutable state of one BuildPool call: the micro-shard
+// queue, the merge map, per-worker throughput, and failure latches.
+type fanoutJob struct {
+	f      *Fanout
+	cfg    bench.Config
+	sink   bench.RecordSink
+	count  int // micro-shard count
+	cancel context.CancelFunc
+	obs    *fanoutObs
+
+	mu        sync.Mutex
+	merged    map[int]bench.Record
+	pending   []int          // shard indexes awaiting a worker; retries at the front
+	attempts  map[int]int    // per-shard failed attempts
+	last      map[int]string // worker that last failed each shard
+	inflight  map[int]bool
+	liveLoops int
+	permErr   error // first permanent failure; fails the whole job
+	lastErr   error // latest transient failure, reported if the job stalls
+	notify    chan struct{}
+	rates     map[string]*obs.RateEWMA
+}
+
+// notifyLocked wakes every wait()er. Callers hold r.mu.
+func (r *fanoutJob) notifyLocked() {
+	if r.notify != nil {
+		close(r.notify)
+		r.notify = nil
+	}
+}
+
+// wait blocks until the queue state changes, a poll interval passes, or ctx
+// ends.
+func (r *fanoutJob) wait(ctx context.Context) {
+	r.mu.Lock()
+	if r.notify == nil {
+		r.notify = make(chan struct{})
+	}
+	ch := r.notify
+	r.mu.Unlock()
+	t := time.NewTimer(r.f.poll())
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// finished reports the job needs no further dispatching: failed, or every
+// shard merged.
+func (r *fanoutJob) finished() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.permErr != nil || (len(r.pending) == 0 && len(r.inflight) == 0)
+}
+
+// meanRateLocked averages the workers with an observed rate (0 if none).
+func (r *fanoutJob) meanRateLocked() float64 {
+	sum, n := 0.0, 0
+	for _, e := range r.rates {
+		if v := e.Rate(); v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (r *fanoutJob) maxRateLocked() float64 {
+	m := 0.0
+	for _, e := range r.rates {
+		if v := e.Rate(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// claim pops up to one shard — two for a worker measuring at or above the
+// fleet-mean throughput while the backlog exceeds the fleet size, so fast
+// workers pipeline (submit the next shard while the previous streams) and
+// effectively take larger slices. Returns nil when nothing is claimable.
+func (r *fanoutJob) claim(worker string) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.permErr != nil || len(r.pending) == 0 {
+		return nil
+	}
+	take := 1
+	rate := 0.0
+	if e := r.rates[worker]; e != nil {
+		rate = e.Rate()
+	}
+	if mean := r.meanRateLocked(); rate > 0 && rate >= mean && len(r.pending) > len(r.f.Workers) {
+		take = 2
+	}
+	slow := rate > 0 && rate < 0.5*r.maxRateLocked()
+	var out []int
+	for i := 0; i < len(r.pending) && len(out) < take; {
+		sh := r.pending[i]
+		if len(r.pending) > 1 {
+			// Retry rotation: never hand a shard straight back to the worker
+			// that just failed it, and let measurably slow workers defer
+			// requeued shards to faster peers — both only when there is an
+			// alternative shard to take instead.
+			if r.last[sh] == worker || (slow && r.attempts[sh] > 0 && r.liveLoops > 1) {
+				i++
+				continue
+			}
+		}
+		r.pending = append(r.pending[:i], r.pending[i+1:]...)
+		r.inflight[sh] = true
+		out = append(out, sh)
+	}
+	if len(out) > 0 {
+		r.obs.dispatched(len(out))
+	}
+	return out
+}
+
+// deliver merges one streamed record (deduplicated by scenario ID — a
+// requeued shard re-streams records an earlier attempt already delivered)
+// and appends it to the sink immediately, mid-shard.
+func (r *fanoutJob) deliver(rec bench.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.merged[rec.ID]; ok {
+		return
+	}
+	r.merged[rec.ID] = rec
+	if r.sink != nil {
+		// Latched in the sink like a local build: a checkpoint failure
+		// surfaces at Close, not here.
+		rec := rec
+		_ = r.sink.Append(&rec)
+	}
+	r.obs.recordStreamed()
+}
+
+// finish marks a shard merged and folds its throughput into the worker's
+// EWMA.
+func (r *fanoutJob) finish(idx int, worker string, n int, elapsed time.Duration) {
+	r.mu.Lock()
+	delete(r.inflight, idx)
+	e := r.rates[worker]
+	if e == nil {
+		e = obs.NewRateEWMA(0)
+		r.rates[worker] = e
+	}
+	e.Observe(float64(n), elapsed)
+	ewma := e.Rate()
+	r.notifyLocked()
+	r.mu.Unlock()
+	r.obs.completed()
+	r.f.logf("fanout: shard %d/%d complete on %s (%d records, %.1f rec/s, ewma %.1f rec/s)",
+		idx, r.count, worker, n, float64(n)/elapsed.Seconds(), ewma)
+}
+
+// fail records a shard attempt's failure: permanent errors latch and cancel
+// the job; transient ones requeue the shard at the front (recording the
+// failing worker for the retry rotation) until its attempts are exhausted.
+func (r *fanoutJob) fail(idx int, worker string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.inflight, idx)
+	defer r.notifyLocked()
+	if !core.IsTransient(err) {
+		if r.permErr == nil {
+			r.permErr = err
+		}
+		r.cancel() // no point finishing sibling shards this attempt
+		return
+	}
+	r.lastErr = err
+	r.attempts[idx]++
+	r.last[idx] = worker
+	if r.attempts[idx] >= r.f.Retry.Attempts() {
+		// Out of per-shard attempts: stop this build; the error is transient,
+		// so the server-level retry gets a fresh set.
+		r.cancel()
+		return
+	}
+	r.pending = append([]int{idx}, r.pending...)
+	r.obs.requeued()
+}
+
+// workerLoop pulls shards for one worker until the job finishes, the worker
+// proves dead (pollFailLimit consecutive failed health probes), or the
+// context ends. A failed batch backs the worker off under the retry policy
+// so a flapping worker cannot spin the queue.
+func (r *fanoutJob) workerLoop(ctx context.Context, worker string) {
+	r.mu.Lock()
+	r.liveLoops++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.liveLoops--
+		r.notifyLocked()
+		r.mu.Unlock()
+	}()
+	probeFails, backoff := 0, 0
+	for ctx.Err() == nil {
+		if r.finished() {
+			return
+		}
+		if !r.f.probeHealthy(ctx, worker) {
+			probeFails++
+			r.obs.probeFailed()
+			if probeFails >= pollFailLimit {
+				r.f.logf("fanout: worker %s failed %d consecutive health probes; retiring for this attempt", worker, probeFails)
+				return
+			}
+			r.wait(ctx)
+			continue
+		}
+		probeFails = 0
+		shards := r.claim(worker)
+		if len(shards) == 0 {
+			if r.finished() {
+				return
+			}
+			r.wait(ctx)
+			continue
+		}
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for _, idx := range shards {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				if !r.runShard(ctx, worker, idx) {
+					failed.Store(true)
+				}
+			}(idx)
+		}
+		wg.Wait()
+		if failed.Load() {
+			backoff++
+			if err := r.f.Retry.Wait(ctx, backoff); err != nil {
+				return
+			}
+		} else {
+			backoff = 0
+		}
+	}
+}
+
+// runShard executes one micro-shard attempt on one worker, reporting success.
+func (r *fanoutJob) runShard(ctx context.Context, worker string, idx int) bool {
+	shard := bench.ShardSpec{Index: idx, Count: r.count}
+	start := time.Now()
+	n, err := r.runShardOn(ctx, worker, shard)
+	if err != nil {
+		if ctx.Err() != nil {
+			r.mu.Lock()
+			delete(r.inflight, idx)
+			r.notifyLocked()
+			r.mu.Unlock()
+			return false
+		}
+		r.f.logf("fanout: shard %s on %s: %v", shard, worker, err)
+		r.fail(idx, worker, err)
+		return false
+	}
+	r.finish(idx, worker, n, time.Since(start))
+	return true
+}
+
+// runShardOn submits the shard to one worker and tails its followed
+// checkpoint stream, delivering records mid-shard; a broken stream falls
+// back to polling the job to a terminal state and downloading its
+// checkpoint.
+func (r *fanoutJob) runShardOn(ctx context.Context, worker string, shard bench.ShardSpec) (int, error) {
+	spec := shardJobSpec(r.cfg, shard)
+	st, err := r.f.submit(ctx, worker, spec)
+	if err != nil {
+		return 0, err
+	}
+	r.f.logf("fanout: shard %s → %s %s", shard, worker, st.ID)
+	n, state, serr := r.tailShard(ctx, worker, st.ID, shard)
+	if serr != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		r.obs.streamFellBack()
+		r.f.logf("fanout: shard %s stream on %s broke (%v); falling back to checkpoint download", shard, worker, serr)
+		st, err = r.f.await(ctx, worker, st.ID)
+		if err != nil {
+			return 0, err
+		}
+		if err := shardStateError(worker, st); err != nil {
+			return 0, err
+		}
+		recs, err := r.f.fetchShard(ctx, worker, st.ID, r.cfg, shard)
+		if err != nil {
+			return 0, err
+		}
+		for i := range recs {
+			r.deliver(recs[i])
+		}
+		return len(recs), nil
+	}
+	if state == StateDone {
+		if want := shard.Size(r.cfg.Scenarios); n != want {
+			return 0, &workerUnavailableError{worker: worker, err: fmt.Errorf("followed stream delivered %d/%d records", n, want)}
+		}
+		return n, nil
+	}
+	// Terminal but not done: resolve the typed reason through the status
+	// endpoint so a permanent failure carries the worker's category.
+	if st2, err := r.f.status(ctx, worker, st.ID); err == nil {
+		st = st2
+	} else {
+		st.State = state
+	}
+	return 0, shardStateError(worker, st)
+}
+
+// shardStateError maps a terminal worker-job state onto the shard's failure
+// semantics: drained is transient (the work recomputes elsewhere), failed is
+// permanent with the worker's typed reason.
+func shardStateError(worker string, st Status) error {
+	switch st.State {
+	case StateDone:
+		return nil
+	case StateDrained:
+		// The worker shut down mid-shard. Its checkpoint survives on its
+		// disk, but the cheapest cure is recomputation elsewhere —
+		// determinism makes the replacement records identical.
+		return &workerUnavailableError{worker: worker, err: fmt.Errorf("job %s drained", st.ID)}
+	case StateFailed:
+		return fmt.Errorf("fanout: shard job %s failed on %s (%s): %s", st.ID, worker, st.FailureCategory, st.Error)
+	default:
+		return fmt.Errorf("fanout: shard job %s on %s ended in unexpected state %s", st.ID, worker, st.State)
+	}
+}
+
+// maxStreamLine bounds one NDJSON line of a followed checkpoint stream; a
+// record is a few KB, so this is pure safety margin.
+const maxStreamLine = 16 << 20
+
+// tailShard follows one worker job's live checkpoint stream, delivering
+// each record as it arrives, and returns the delivered count plus the
+// job state from the stream trailer. Any transport or framing error returns
+// non-nil serr — the caller falls back to the download path. A watchdog
+// cancels a read idle for several keepalive beats, so a wedged (but not
+// closed) connection cannot hang the shard.
+func (r *fanoutJob) tailShard(ctx context.Context, worker, id string, shard bench.ShardSpec) (n int, state State, serr error) {
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, worker+"/jobs/"+id+"/checkpoint?follow=1", nil)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := r.f.streamClient().Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("follow checkpoint %s: %d: %s", id, resp.StatusCode, readError(resp.Body))
+	}
+	idle := 5 * checkpointKeepalive
+	if p := 5 * r.f.poll(); p > idle {
+		idle = p
+	}
+	watchdog := time.AfterFunc(idle, cancel)
+	defer watchdog.Stop()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	if !sc.Scan() {
+		return 0, "", fmt.Errorf("follow checkpoint %s: no header line: %v", id, sc.Err())
+	}
+	watchdog.Reset(idle)
+	hcfg, err := bench.DecodeCheckpointHeader(sc.Bytes())
+	if err != nil {
+		return 0, "", err
+	}
+	if hcfg.Scenarios != r.cfg.Scenarios || hcfg.Seed != r.cfg.Seed {
+		return 0, "", fmt.Errorf("worker streams a checkpoint for a different pool (%d scenarios, seed %d)", hcfg.Scenarios, hcfg.Seed)
+	}
+	for sc.Scan() {
+		watchdog.Reset(idle)
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue // keepalive heartbeat
+		}
+		var rec bench.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return n, "", fmt.Errorf("follow checkpoint %s: bad record line: %w", id, err)
+		}
+		if rec.ID < 0 || rec.ID >= r.cfg.Scenarios || !shard.Contains(rec.ID) {
+			return n, "", fmt.Errorf("follow checkpoint %s: scenario %d outside shard %s", id, rec.ID, shard)
+		}
+		r.deliver(rec)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, "", err
+	}
+	state = State(resp.Trailer.Get(trailerJobState))
+	if state == "" {
+		return n, "", fmt.Errorf("follow checkpoint %s: stream ended without a state trailer", id)
+	}
+	return n, state, nil
+}
+
+// probeHealthy reports whether the worker answers /healthz as serving (a
+// draining worker is deliberately unhealthy: it rejects new shard jobs).
+func (f *Fanout) probeHealthy(ctx context.Context, worker string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var hb struct {
+		State string `json:"state"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&hb) != nil {
+		return false
+	}
+	return hb.State == "serving"
 }
 
 // shardComplete reports every scenario of the shard already has a record.
@@ -232,65 +732,7 @@ func sortedRecords(byID map[int]bench.Record) []bench.Record {
 }
 
 func (f *Fanout) spoolPath(cfg bench.Config, idx, count int) string {
-	return filepath.Join(f.SpoolDir, fmt.Sprintf("%s-shard-%d-of-%d.ckpt", cfg.Label, idx, count))
-}
-
-// runShard executes one shard to completion, rotating through the workers on
-// transient failures: attempt k goes to worker (index+k) % len(Workers), so
-// a dead worker's shards migrate to its neighbors while healthy workers keep
-// their own shard on attempt 0.
-func (f *Fanout) runShard(ctx context.Context, cfg bench.Config, shard bench.ShardSpec) ([]bench.Record, error) {
-	attempts := f.Retry.Attempts()
-	var lastErr error
-	for k := 0; k < attempts; k++ {
-		if k > 0 {
-			if err := f.Retry.Wait(ctx, k); err != nil {
-				return nil, err
-			}
-		}
-		worker := f.Workers[(shard.Index+k)%len(f.Workers)]
-		recs, err := f.runShardOn(ctx, worker, cfg, shard)
-		if err == nil {
-			return recs, nil
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		if !core.IsTransient(err) {
-			return nil, err
-		}
-		lastErr = err
-		f.logf("fanout: shard %s attempt %d on %s: %v", shard, k, worker, err)
-	}
-	return nil, lastErr
-}
-
-// runShardOn submits the shard to one worker, polls it to a terminal state,
-// and downloads its checkpoint.
-func (f *Fanout) runShardOn(ctx context.Context, worker string, cfg bench.Config, shard bench.ShardSpec) ([]bench.Record, error) {
-	spec := shardJobSpec(cfg, shard)
-	st, err := f.submit(ctx, worker, spec)
-	if err != nil {
-		return nil, err
-	}
-	f.logf("fanout: shard %s → %s %s", shard, worker, st.ID)
-	st, err = f.await(ctx, worker, st.ID)
-	if err != nil {
-		return nil, err
-	}
-	switch st.State {
-	case StateDone:
-	case StateDrained:
-		// The worker shut down mid-shard. Its checkpoint survives on its
-		// disk, but the cheapest cure is recomputation elsewhere —
-		// determinism makes the replacement records identical.
-		return nil, &workerUnavailableError{worker: worker, err: fmt.Errorf("job %s drained", st.ID)}
-	case StateFailed:
-		return nil, fmt.Errorf("fanout: shard %s failed on %s (%s): %s", shard, worker, st.FailureCategory, st.Error)
-	default:
-		return nil, fmt.Errorf("fanout: shard %s on %s ended in unexpected state %s", shard, worker, st.State)
-	}
-	return f.fetchShard(ctx, worker, st.ID, cfg, shard)
+	return filepath.Join(f.SpoolDir, fmt.Sprintf("%s-shard-%d-of-%d%s", cfg.Label, idx, count, ckptFileSuffix))
 }
 
 // shardJobSpec maps the coordinator's bench config back onto the wire spec a
@@ -342,11 +784,13 @@ func (f *Fanout) submit(ctx context.Context, worker string, spec JobSpec) (Statu
 	}
 }
 
-// pollFailLimit is how many consecutive failed status polls declare a worker
-// dead (a SIGKILLed worker stops answering without any terminal state).
+// pollFailLimit is how many consecutive failed status polls (or health
+// probes) declare a worker dead — a SIGKILLed worker stops answering
+// without any terminal state.
 const pollFailLimit = 5
 
-// await polls the worker job until it leaves queued/running.
+// await polls the worker job until it leaves queued/running (the
+// stream-fallback path).
 func (f *Fanout) await(ctx context.Context, worker, id string) (Status, error) {
 	t := time.NewTicker(f.poll())
 	defer t.Stop()
@@ -456,4 +900,70 @@ func readError(r io.Reader) string {
 		return eb.Error
 	}
 	return strings.TrimSpace(string(data))
+}
+
+// fanoutObs bundles the coordinator-side scheduling counters (registered on
+// the server's runtime via the build context). A nil *fanoutObs is the
+// disabled state; every method is nil-safe.
+type fanoutObs struct {
+	mDispatched *obs.Counter // serve.fanout.shards_dispatched
+	mCompleted  *obs.Counter // serve.fanout.shards_completed
+	mRequeued   *obs.Counter // serve.fanout.shards_requeued
+	mStreamed   *obs.Counter // serve.fanout.records_streamed
+	mFallbacks  *obs.Counter // serve.fanout.stream_fallbacks
+	mProbeFails *obs.Counter // serve.fanout.probe_failures
+	mSpoolGC    *obs.Counter // serve.fanout.spool_files_removed
+}
+
+func newFanoutObs(ctx context.Context) *fanoutObs {
+	rt := obs.FromContext(ctx)
+	if rt == nil {
+		return nil
+	}
+	m := rt.Metrics()
+	return &fanoutObs{
+		mDispatched: m.Counter("serve.fanout.shards_dispatched"),
+		mCompleted:  m.Counter("serve.fanout.shards_completed"),
+		mRequeued:   m.Counter("serve.fanout.shards_requeued"),
+		mStreamed:   m.Counter("serve.fanout.records_streamed"),
+		mFallbacks:  m.Counter("serve.fanout.stream_fallbacks"),
+		mProbeFails: m.Counter("serve.fanout.probe_failures"),
+		mSpoolGC:    m.Counter("serve.fanout.spool_files_removed"),
+	}
+}
+
+func (o *fanoutObs) dispatched(n int) {
+	if o != nil {
+		o.mDispatched.Add(int64(n))
+	}
+}
+func (o *fanoutObs) completed() {
+	if o != nil {
+		o.mCompleted.Inc()
+	}
+}
+func (o *fanoutObs) requeued() {
+	if o != nil {
+		o.mRequeued.Inc()
+	}
+}
+func (o *fanoutObs) recordStreamed() {
+	if o != nil {
+		o.mStreamed.Inc()
+	}
+}
+func (o *fanoutObs) streamFellBack() {
+	if o != nil {
+		o.mFallbacks.Inc()
+	}
+}
+func (o *fanoutObs) probeFailed() {
+	if o != nil {
+		o.mProbeFails.Inc()
+	}
+}
+func (o *fanoutObs) spoolRemoved() {
+	if o != nil {
+		o.mSpoolGC.Inc()
+	}
 }

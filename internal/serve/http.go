@@ -45,7 +45,9 @@ const retryAfterSeconds = 2
 //	GET  /jobs/{id}/result completed pool as CSV     → 200 text/csv
 //	                       (?follow=1 → chunked CSV streamed while running)
 //	GET  /jobs/{id}/events SSE progress stream       → 200 text/event-stream
-//	GET  /jobs/{id}/checkpoint  raw checkpoint JSONL → 200 x-ndjson (done only)
+//	GET  /jobs/{id}/checkpoint  raw checkpoint JSONL → 200 x-ndjson (done only;
+//	                       ?follow=1 → NDJSON streamed while running, with
+//	                       blank-line keepalives and an X-Dfs-Job-State trailer)
 //	GET  /metrics          obs metrics registry      → 200 JSON
 //	                       (?format=prom → Prometheus text exposition)
 //	GET  /progress         live pool progress        → 200 JSON

@@ -754,9 +754,12 @@ func (s *Server) finishDone(job *Job, p *bench.Pool) {
 	job.adoptPoolLocked(p)
 	job.notifyLocked()
 	job.mu.Unlock()
+	// Count the terminal state before the (slow, disk-bound) persist: a
+	// client that just observed state=done over HTTP must also see
+	// serve.job.done moved on /metrics.
+	s.mDone.Inc()
 	s.chargeTenant(job.Tenant, cost)
 	s.persist(job)
-	s.mDone.Inc()
 	s.endJobSpan(job, "done",
 		obs.Int("records", int64(len(p.Records))),
 		obs.Float("cost", cost),
@@ -775,8 +778,8 @@ func (s *Server) finishFailed(job *Job, err error) {
 	job.category = category
 	job.notifyLocked()
 	job.mu.Unlock()
-	s.persist(job)
 	s.mFailed.Inc()
+	s.persist(job)
 	s.endJobSpan(job, "failed", obs.Str("category", string(category)))
 	s.cfg.Logf("serve: job %s failed (%s): %v", job.ID, category, err)
 }
@@ -786,8 +789,8 @@ func (s *Server) finishFailed(job *Job, err error) {
 func (s *Server) finishInterrupted(job *Job, jctx context.Context, err error) {
 	if s.baseCtx.Err() != nil || s.draining.Load() {
 		job.setState(StateDrained)
-		s.persist(job)
 		s.mDrained.Inc()
+		s.persist(job)
 		s.endJobSpan(job, "drained")
 		s.cfg.Logf("serve: job %s drained (checkpoint retained)", job.ID)
 		return

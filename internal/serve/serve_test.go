@@ -18,7 +18,8 @@ import (
 )
 
 // newTestServer builds a Server over a temp dir and registers cleanup.
-func newTestServer(t *testing.T, cfg Config) *Server {
+// testing.TB so benchmarks can reuse it.
+func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
 	if cfg.Dir == "" {
 		cfg.Dir = t.TempDir()

@@ -39,6 +39,12 @@ var (
 	sseEndGrace         = 200 * time.Millisecond
 )
 
+// checkpointKeepalive paces the blank-line heartbeats of a followed
+// checkpoint stream, so a reader can tell a slow scenario from a dead
+// worker without an overall request timeout. A variable so tests (and the
+// fan-out's liveness watchdog) can tighten it.
+var checkpointKeepalive = 2 * time.Second
+
 // streamResult answers GET /jobs/{id}/result?follow=1: a chunked CSV of
 // completed records emitted in scenario-ID order as they become available,
 // ending when the job reaches a terminal (or drained) state. The job state
@@ -90,13 +96,22 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, job *Job) 
 	}
 }
 
-// handleCheckpoint serves a completed job's raw checkpoint file — the
-// JSONL transfer format of the fan-out coordinator, which reassembles one
-// pool from its shard jobs' checkpoints via MergeShards.
+// handleCheckpoint serves a job's checkpoint in the JSONL transfer format
+// the fan-out coordinator reassembles pools from. Without ?follow it copies
+// the completed job's raw checkpoint file (done jobs only); with ?follow=1
+// it streams the same format live — the header line first, then one record
+// line per completed scenario in contiguous scenario-ID order as they land,
+// blank-line keepalives while idle, ending with the job's state in the
+// X-Dfs-Job-State trailer. The followed stream is how the coordinator fills
+// its own checkpoint in record-sized steps while shards are still running.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	if r.URL.Query().Get("follow") != "" {
+		s.streamCheckpoint(w, r, job)
 		return
 	}
 	if job.State() != StateDone {
@@ -115,6 +130,66 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if _, err := io.Copy(w, f); err != nil {
 		panic(http.ErrAbortHandler)
+	}
+}
+
+// streamCheckpoint answers GET /jobs/{id}/checkpoint?follow=1: a live
+// NDJSON rendering of the job's checkpoint. The record lines are marshaled
+// from the same Records the checkpoint file holds, so a completed stream
+// parses to the identical record set.
+func (s *Server) streamCheckpoint(w http.ResponseWriter, r *http.Request, job *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported by this connection"})
+		return
+	}
+	hdr, err := bench.EncodeCheckpointHeader(job.Spec.benchConfig(s.cfg, job.ID))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "checkpoint header: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Trailer", trailerJobState)
+	if _, err := w.Write(hdr); err != nil {
+		return
+	}
+	fl.Flush()
+	keep := time.NewTicker(checkpointKeepalive)
+	defer keep.Stop()
+	next := 0
+	for {
+		// Grab the wait channel before snapshotting, so a record landing
+		// between the snapshot and the wait wakes the next iteration.
+		ch := job.changed()
+		recs, n, state := job.availableFrom(next)
+		next = n
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				// Same contract as the CSV stream: abort so the client sees a
+				// truncated body, never a silently short checkpoint.
+				s.cfg.Logf("serve: checkpoint stream %s: %v", job.ID, err)
+				panic(http.ErrAbortHandler)
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+		if state.terminal() || state == StateDrained {
+			w.Header().Set(trailerJobState, string(state))
+			return
+		}
+		select {
+		case <-ch:
+		case <-keep.C:
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
 	}
 }
 

@@ -174,6 +174,129 @@ func TestResultFollowStreamsIncrementally(t *testing.T) {
 	checkInvariant(t, srv)
 }
 
+// TestCheckpointFollowStream drives the NDJSON checkpoint follow stream
+// record by record: the header line must decode to the job's pool config,
+// idle periods must heartbeat blank lines, every released record must
+// arrive as one JSON line, and the completed stream must parse to exactly
+// the record set of the terminal checkpoint download.
+func TestCheckpointFollowStream(t *testing.T) {
+	ref := refPool(t)
+	gate := make(chan struct{})
+	oldKeepalive := checkpointKeepalive
+	checkpointKeepalive = 50 * time.Millisecond
+	t.Cleanup(func() { checkpointKeepalive = oldKeepalive })
+	srv := newTestServer(t, Config{Workers: 1, BuildPool: replayBuilder(ref, gate)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, st, _, _ := postJob(t, ts.URL, streamSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/checkpoint?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow: code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("follow content type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	hdrLine, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg, err := bench.DecodeCheckpointHeader([]byte(hdrLine))
+	if err != nil {
+		t.Fatalf("header line does not decode: %v", err)
+	}
+	if hcfg.Scenarios != streamSpec.Scenarios || hcfg.Seed != streamSpec.Seed {
+		t.Fatalf("streamed header config = %d scenarios seed %d, want %d/%d",
+			hcfg.Scenarios, hcfg.Seed, streamSpec.Scenarios, streamSpec.Seed)
+	}
+	// Nothing released yet: the next line must be a keepalive heartbeat.
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line) != "" {
+		t.Fatalf("expected a blank keepalive line while idle, got %q", line)
+	}
+	readRecord := func() bench.Record {
+		t.Helper()
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream ended early: %v", err)
+			}
+			if strings.TrimSpace(line) == "" {
+				continue // keepalive
+			}
+			var rec bench.Record
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("bad record line %q: %v", line, err)
+			}
+			return rec
+		}
+	}
+	var streamed []bench.Record
+	for i := 0; i < streamSpec.Scenarios; i++ {
+		gate <- struct{}{}
+		rec := readRecord()
+		if rec.ID != i {
+			t.Fatalf("streamed record %d has ID %d (contiguous-order contract broken)", i, rec.ID)
+		}
+		streamed = append(streamed, rec)
+	}
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Trailer.Get(trailerJobState); got != string(StateDone) {
+		t.Fatalf("trailer %s = %q, want %q", trailerJobState, got, StateDone)
+	}
+
+	// The completed stream must parse to the same records as the terminal
+	// checkpoint download (both travel the same JSON encoding).
+	awaitState(t, ts.URL, st.ID, StateDone)
+	dl, err := http.Get(ts.URL + "/jobs/" + st.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Body.Close()
+	if dl.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint download: code %d", dl.StatusCode)
+	}
+	var final []bench.Record
+	sc := bufio.NewScanner(dl.Body)
+	for i := 0; sc.Scan(); i++ {
+		if i == 0 || len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue // header line
+		}
+		var rec bench.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		final = append(final, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != len(streamed) {
+		t.Fatalf("streamed %d records, final checkpoint has %d", len(streamed), len(final))
+	}
+	for i := range final {
+		a, _ := json.Marshal(streamed[i])
+		b, _ := json.Marshal(final[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("streamed record %d differs from the checkpointed one:\n%s\n%s", i, a, b)
+		}
+	}
+	checkInvariant(t, srv)
+}
+
 // TestResultFollowClientDisconnect kills a follow stream mid-job and checks
 // the job is unharmed: it still completes, its result matches the reference,
 // and the streaming goroutine does not outlive its client.
